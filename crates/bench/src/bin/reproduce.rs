@@ -1,0 +1,296 @@
+//! `reproduce` — regenerates every table and figure of the paper's
+//! evaluation (§5). See `reproduce help`.
+
+use std::time::Duration;
+
+use cqi_bench::casestudy::print_case_study;
+use cqi_bench::harness::{
+    self, coverage_series, joint_coverage_size_series, print_series, run_workload,
+    runtime_series, XMeasure,
+};
+use cqi_bench::userstudy::print_user_study;
+use cqi_core::{cq_neg_universal_solution, ChaseConfig, Variant};
+use cqi_datasets::{beers_queries, dataset_stats, tpch_queries, DatasetQuery};
+use cqi_drc::SyntaxTree;
+use cqi_sql::sql_to_drc;
+
+struct Opts {
+    timeout: Duration,
+    beers_limit: usize,
+    tpch_limit: usize,
+    quick: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        timeout: Duration::from_secs(5),
+        beers_limit: 10,
+        tpch_limit: 15,
+        quick: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                o.timeout = Duration::from_secs_f64(
+                    args[i].parse().expect("--timeout takes seconds"),
+                );
+            }
+            "--limit" => {
+                i += 1;
+                let l: usize = args[i].parse().expect("--limit takes a number");
+                o.beers_limit = l;
+                o.tpch_limit = l;
+            }
+            "--quick" => o.quick = true,
+            other => panic!("unknown option `{other}`"),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn beers_cfg(o: &Opts) -> ChaseConfig {
+    ChaseConfig::with_limit(o.beers_limit)
+        .enforce_keys(true)
+        .timeout(o.timeout)
+}
+
+fn tpch_cfg(o: &Opts) -> ChaseConfig {
+    ChaseConfig::with_limit(o.tpch_limit)
+        .enforce_keys(false)
+        .timeout(o.timeout)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let opts = parse_opts(&args[1.min(args.len())..]);
+    match cmd {
+        "table1" => table1(),
+        "fig8" | "fig10" => beers_figures(&opts),
+        "fig11" => tpch_figures(&opts),
+        "fig12" => limit_sensitivity(&opts, Variant::DisjAdd, "Fig. 12"),
+        "fig13" => limit_sensitivity(&opts, Variant::ConjAdd, "Fig. 13"),
+        "interactivity" => interactivity(&opts),
+        "table2" => print_case_study(10, opts.timeout.max(Duration::from_secs(20))),
+        "userstudy" => print_user_study(
+            13,
+            opts.timeout.max(Duration::from_secs(20)),
+            42,
+            22,
+        ),
+        "cqneg" => cqneg(),
+        "all" => {
+            table1();
+            beers_figures(&opts);
+            tpch_figures(&opts);
+            limit_sensitivity(&opts, Variant::DisjAdd, "Fig. 12");
+            limit_sensitivity(&opts, Variant::ConjAdd, "Fig. 13");
+            interactivity(&opts);
+            print_case_study(10, opts.timeout.max(Duration::from_secs(20)));
+            print_user_study(13, opts.timeout.max(Duration::from_secs(20)), 42, 22);
+            cqneg();
+        }
+        _ => {
+            eprintln!(
+                "usage: reproduce <table1|fig8|fig10|fig11|fig12|fig13|interactivity|table2|userstudy|cqneg|all> \
+                 [--timeout SECS] [--limit N] [--quick]"
+            );
+        }
+    }
+}
+
+/// Table 1: dataset statistics (ours vs paper).
+fn table1() {
+    println!("== Table 1: dataset statistics ==");
+    println!(
+        "{:<8} {:>9} {:>12} {:>17} {:>9} {:>12}",
+        "Dataset", "# Queries", "Mean # Atoms", "Mean # Quantifiers", "Mean # Or", "Mean Height"
+    );
+    for (name, qs, paper) in [
+        ("Beers", beers_queries(), (35, 6.40, 13.94, 2.17, 9.54)),
+        ("TPC-H", tpch_queries(), (28, 11.96, 23.07, 4.18, 12.07)),
+    ] {
+        let s = dataset_stats(&qs);
+        println!(
+            "{:<8} {:>9} {:>12.2} {:>17.2} {:>9.2} {:>12.2}   (ours)",
+            name, s.num_queries, s.mean_atoms, s.mean_quantifiers, s.mean_ors, s.mean_height
+        );
+        println!(
+            "{:<8} {:>9} {:>12.2} {:>17.2} {:>9.2} {:>12.2}   (paper)",
+            name, paper.0, paper.1, paper.2, paper.3, paper.4
+        );
+    }
+}
+
+fn beers_subset(quick: bool) -> Vec<DatasetQuery> {
+    let qs = beers_queries();
+    if !quick {
+        return qs;
+    }
+    qs.into_iter()
+        .filter(|q| q.name.starts_with("Q2") || q.name.starts_with("Q3"))
+        .collect()
+}
+
+/// Figures 8 and 10: runtime and quality over the Beers workload.
+fn beers_figures(o: &Opts) {
+    let variants = Variant::ALL;
+    let qs = beers_subset(o.quick);
+    eprintln!(
+        "running {} Beers queries x {} variants (timeout {:?}, limit {}) ...",
+        qs.len(),
+        variants.len(),
+        o.timeout,
+        o.beers_limit
+    );
+    let records = run_workload(&qs, &variants, &beers_cfg(o), true);
+    for x in XMeasure::ALL {
+        print_series(
+            &format!("Fig. 8: running time vs {}", x.label()),
+            "mean seconds",
+            &variants,
+            &runtime_series(&records, x),
+        );
+    }
+    print_series(
+        "Fig. 10 (left): # coverage vs # Or Below Forall + # Forall",
+        "mean # distinct coverages",
+        &variants,
+        &coverage_series(&records, XMeasure::OrBelowForallPlusForall),
+    );
+    print_series(
+        "Fig. 10 (right): instance size of joint coverage vs # quantifiers",
+        "mean size",
+        &variants,
+        &joint_coverage_size_series(&records, &variants, XMeasure::Quantifiers),
+    );
+}
+
+/// Figure 11: TPC-H runtime and quality (4 variants, as in the paper).
+fn tpch_figures(o: &Opts) {
+    let variants = [
+        Variant::DisjEO,
+        Variant::DisjAdd,
+        Variant::ConjEO,
+        Variant::ConjAdd,
+    ];
+    let mut qs = tpch_queries();
+    if o.quick {
+        qs.truncate(8);
+    }
+    eprintln!(
+        "running {} TPC-H queries x {} variants (timeout {:?}, limit {}) ...",
+        qs.len(),
+        variants.len(),
+        o.timeout,
+        o.tpch_limit
+    );
+    let records = run_workload(&qs, &variants, &tpch_cfg(o), true);
+    print_series(
+        "Fig. 11 (left): running time vs # Or Below Forall + # Forall",
+        "mean seconds",
+        &variants,
+        &runtime_series(&records, XMeasure::OrBelowForallPlusForall),
+    );
+    print_series(
+        "Fig. 11 (right): # coverage vs # Or Below Forall + # Forall",
+        "mean # distinct coverages",
+        &variants,
+        &coverage_series(&records, XMeasure::OrBelowForallPlusForall),
+    );
+}
+
+/// Figures 12/13: limit parameter sensitivity for one Add variant.
+fn limit_sensitivity(o: &Opts, variant: Variant, figure: &str) {
+    let qs = beers_subset(o.quick);
+    for limit in [6usize, 8, 10] {
+        let cfg = ChaseConfig::with_limit(limit)
+            .enforce_keys(true)
+            .timeout(o.timeout);
+        eprintln!("{figure}: {} at limit {limit} ...", variant.name());
+        let records = run_workload(&qs, &[variant], &cfg, false);
+        print_series(
+            &format!(
+                "{figure}: {} limit={limit} — runtime vs # Or Below Forall + # Forall",
+                variant.name()
+            ),
+            "mean seconds",
+            &[variant],
+            &runtime_series(&records, XMeasure::OrBelowForallPlusForall),
+        );
+        print_series(
+            &format!(
+                "{figure}: {} limit={limit} — # coverage vs # Or Below Forall + # Forall",
+                variant.name()
+            ),
+            "mean # distinct coverages",
+            &[variant],
+            &coverage_series(&records, XMeasure::OrBelowForallPlusForall),
+        );
+    }
+}
+
+/// §5.1 interactivity: time-to-first instance and inter-emission gap.
+fn interactivity(o: &Opts) {
+    println!("\n== §5.1 Interactivity ==");
+    for (label, qs, cfg) in [
+        ("Beers", beers_subset(o.quick), beers_cfg(o)),
+        ("TPC-H", {
+            let mut qs = tpch_queries();
+            if o.quick {
+                qs.truncate(8);
+            }
+            qs
+        }, tpch_cfg(o)),
+    ] {
+        let variants = [Variant::DisjAdd, Variant::ConjAdd];
+        let records = run_workload(&qs, &variants, &cfg, false);
+        for v in variants {
+            let stats = harness::interactivity(&records, v);
+            println!(
+                "{label:<6} {:<9} time-to-first: {:>8}   mean gap between coverages: {:>8}",
+                v.name(),
+                stats
+                    .mean_time_to_first
+                    .map(|d| format!("{:.2}s", d.as_secs_f64()))
+                    .unwrap_or_else(|| "-".into()),
+                stats
+                    .mean_gap
+                    .map(|d| format!("{:.2}s", d.as_secs_f64()))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+}
+
+/// Proposition 3.1(1): the CQ¬ poly-time universal solution, demonstrated
+/// on the paper's own CQ¬ example and a SQL-lowered query.
+fn cqneg() {
+    println!("\n== Proposition 3.1(1): CQ¬ universal solutions ==");
+    let schema = cqi_datasets::beers_schema();
+    let drc = cqi_drc::parse_query(
+        &schema,
+        "{ (b) | exists x, d, a . Beer(b, x) and Drinker(d, a) and not Likes(d, b) }",
+    )
+    .unwrap();
+    let sol = cq_neg_universal_solution(&SyntaxTree::new(drc), true).unwrap();
+    println!("DRC 'beers not liked by some drinker': {} instance(s)", sol.instances.len());
+    for si in &sol.instances {
+        print!("{}", si.inst);
+    }
+    let sql = sql_to_drc(
+        &schema,
+        "SELECT S1.bar, S1.beer FROM Likes L, Serves S1, Serves S2 \
+         WHERE L.drinker LIKE 'Eve%' AND L.beer = S1.beer AND L.beer = S2.beer \
+         AND S1.price > S2.price",
+    )
+    .unwrap();
+    let sol = cq_neg_universal_solution(&SyntaxTree::new(sql), true).unwrap();
+    println!("SQL QB (Fig. 9b) via sql front-end: {} instance(s)", sol.instances.len());
+    for si in &sol.instances {
+        print!("{}", si.inst);
+    }
+}

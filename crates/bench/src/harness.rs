@@ -1,0 +1,325 @@
+//! Workload runner and figure/table assembly.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cqi_core::{run_variant, ChaseConfig, Variant};
+use cqi_datasets::{DatasetQuery, QueryKind};
+use cqi_drc::{Metrics, SyntaxTree};
+
+/// One (query, variant) measurement.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    pub query: String,
+    pub kind: QueryKind,
+    pub variant: Variant,
+    pub metrics: Metrics,
+    pub runtime: Duration,
+    pub timed_out: bool,
+    pub num_coverages: usize,
+    pub mean_size: f64,
+    pub raw_accepted: usize,
+    pub time_to_first: Option<Duration>,
+    pub mean_gap: Option<Duration>,
+    /// Coverages found (as sorted leaf-id lists) — used for the Fig. 10
+    /// common-coverage size comparison.
+    pub coverages: Vec<Vec<u32>>,
+    pub sizes_by_coverage: BTreeMap<Vec<u32>, usize>,
+}
+
+/// Runs one variant over one query.
+pub fn run_one(dq: &DatasetQuery, variant: Variant, cfg: &ChaseConfig) -> RunRecord {
+    let tree = SyntaxTree::new(dq.query.clone());
+    let sol = run_variant(&tree, variant, cfg);
+    let mut coverages = Vec::new();
+    let mut sizes_by_coverage = BTreeMap::new();
+    for si in &sol.instances {
+        let cov: Vec<u32> = si.coverage.iter().map(|l| l.0).collect();
+        sizes_by_coverage.insert(cov.clone(), si.size());
+        coverages.push(cov);
+    }
+    RunRecord {
+        query: dq.name.clone(),
+        kind: dq.kind,
+        variant,
+        metrics: Metrics::of(&dq.query),
+        runtime: sol.total_time,
+        timed_out: sol.timed_out,
+        num_coverages: sol.num_coverages(),
+        mean_size: sol.mean_size(),
+        raw_accepted: sol.raw_accepted,
+        time_to_first: sol.time_to_first(),
+        mean_gap: sol.mean_gap(),
+        coverages,
+        sizes_by_coverage,
+    }
+}
+
+/// Runs a set of variants over a whole workload.
+pub fn run_workload(
+    queries: &[DatasetQuery],
+    variants: &[Variant],
+    cfg: &ChaseConfig,
+    progress: bool,
+) -> Vec<RunRecord> {
+    let mut out = Vec::with_capacity(queries.len() * variants.len());
+    for dq in queries {
+        for v in variants {
+            if progress {
+                eprintln!("  [{}] {} ...", v.name(), dq.name);
+            }
+            out.push(run_one(dq, *v, cfg));
+        }
+    }
+    out
+}
+
+/// The x-axis measures of Fig. 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XMeasure {
+    TreeSize,
+    TreeHeight,
+    OrBelowForallPlusForall,
+    Quantifiers,
+}
+
+impl XMeasure {
+    pub const ALL: [XMeasure; 4] = [
+        XMeasure::TreeSize,
+        XMeasure::TreeHeight,
+        XMeasure::OrBelowForallPlusForall,
+        XMeasure::Quantifiers,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            XMeasure::TreeSize => "Size of Query Tree",
+            XMeasure::TreeHeight => "Height of Query Tree",
+            XMeasure::OrBelowForallPlusForall => "# Or Below Forall + # Forall",
+            XMeasure::Quantifiers => "# Quantifiers",
+        }
+    }
+
+    pub fn of(self, m: &Metrics) -> usize {
+        match self {
+            XMeasure::TreeSize => m.size,
+            XMeasure::TreeHeight => m.height,
+            XMeasure::OrBelowForallPlusForall => m.or_below_forall_plus_forall,
+            XMeasure::Quantifiers => m.quantifiers,
+        }
+    }
+}
+
+/// Mean runtime per (x-value, variant): one Fig. 8 panel.
+pub fn runtime_series(
+    records: &[RunRecord],
+    x: XMeasure,
+) -> BTreeMap<usize, BTreeMap<Variant, f64>> {
+    let mut acc: BTreeMap<usize, BTreeMap<Variant, (f64, usize)>> = BTreeMap::new();
+    for r in records {
+        let xv = x.of(&r.metrics);
+        let e = acc
+            .entry(xv)
+            .or_default()
+            .entry(r.variant)
+            .or_insert((0.0, 0));
+        e.0 += r.runtime.as_secs_f64();
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(xv, per_variant)| {
+            (
+                xv,
+                per_variant
+                    .into_iter()
+                    .map(|(v, (sum, n))| (v, sum / n as f64))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Mean #coverages per (x-value, variant): Fig. 10 left / Fig. 11 right.
+pub fn coverage_series(
+    records: &[RunRecord],
+    x: XMeasure,
+) -> BTreeMap<usize, BTreeMap<Variant, f64>> {
+    let mut acc: BTreeMap<usize, BTreeMap<Variant, (f64, usize)>> = BTreeMap::new();
+    for r in records {
+        let xv = x.of(&r.metrics);
+        let e = acc
+            .entry(xv)
+            .or_default()
+            .entry(r.variant)
+            .or_insert((0.0, 0));
+        e.0 += r.num_coverages as f64;
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(xv, per_variant)| {
+            (
+                xv,
+                per_variant
+                    .into_iter()
+                    .map(|(v, (sum, n))| (v, sum / n as f64))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 10 right: mean instance size over coverages returned by *all*
+/// variants of the same query ("joint coverage", the paper's fairness
+/// device), grouped by an x measure.
+pub fn joint_coverage_size_series(
+    records: &[RunRecord],
+    variants: &[Variant],
+    x: XMeasure,
+) -> BTreeMap<usize, BTreeMap<Variant, f64>> {
+    // Group records per query.
+    let mut by_query: BTreeMap<&str, Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        by_query.entry(r.query.as_str()).or_default().push(r);
+    }
+    let mut acc: BTreeMap<usize, BTreeMap<Variant, (f64, usize)>> = BTreeMap::new();
+    for (_q, rs) in by_query {
+        if rs.len() < variants.len() {
+            continue;
+        }
+        // Coverages returned by every variant.
+        let mut joint: Option<Vec<Vec<u32>>> = None;
+        for r in &rs {
+            let set: Vec<Vec<u32>> = r.coverages.clone();
+            joint = Some(match joint {
+                None => set,
+                Some(j) => j.into_iter().filter(|c| set.contains(c)).collect(),
+            });
+        }
+        let joint = joint.unwrap_or_default();
+        if joint.is_empty() {
+            continue;
+        }
+        for r in &rs {
+            let xv = x.of(&r.metrics);
+            let sizes: Vec<usize> = joint
+                .iter()
+                .filter_map(|c| r.sizes_by_coverage.get(c).copied())
+                .collect();
+            if sizes.is_empty() {
+                continue;
+            }
+            let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+            let e = acc
+                .entry(xv)
+                .or_default()
+                .entry(r.variant)
+                .or_insert((0.0, 0));
+            e.0 += mean;
+            e.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .map(|(xv, per_variant)| {
+            (
+                xv,
+                per_variant
+                    .into_iter()
+                    .map(|(v, (sum, n))| (v, sum / n as f64))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Pretty-prints one series table: rows = x values, columns = variants.
+pub fn print_series(
+    title: &str,
+    ylabel: &str,
+    variants: &[Variant],
+    series: &BTreeMap<usize, BTreeMap<Variant, f64>>,
+) {
+    println!("\n== {title} ==  (cell = {ylabel})");
+    print!("{:>6} |", "x");
+    for v in variants {
+        print!(" {:>11}", v.name());
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 12 * variants.len()));
+    for (xv, per_variant) in series {
+        print!("{xv:>6} |");
+        for v in variants {
+            match per_variant.get(v) {
+                Some(val) => print!(" {val:>11.3}"),
+                None => print!(" {:>11}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// §5.1 interactivity statistics for one variant over a workload.
+pub struct Interactivity {
+    pub variant: Variant,
+    pub mean_time_to_first: Option<Duration>,
+    pub mean_gap: Option<Duration>,
+}
+
+pub fn interactivity(records: &[RunRecord], variant: Variant) -> Interactivity {
+    let firsts: Vec<Duration> = records
+        .iter()
+        .filter(|r| r.variant == variant)
+        .filter_map(|r| r.time_to_first)
+        .collect();
+    let gaps: Vec<Duration> = records
+        .iter()
+        .filter(|r| r.variant == variant)
+        .filter_map(|r| r.mean_gap)
+        .collect();
+    let mean = |v: &[Duration]| -> Option<Duration> {
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<Duration>() / v.len() as u32)
+        }
+    };
+    Interactivity {
+        variant,
+        mean_time_to_first: mean(&firsts),
+        mean_gap: mean(&gaps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_datasets::beers_queries;
+
+    #[test]
+    fn run_one_produces_record() {
+        let qs = beers_queries();
+        let q2b = qs.iter().find(|q| q.name == "Q2B").unwrap();
+        let cfg = ChaseConfig::with_limit(6)
+            .enforce_keys(true)
+            .timeout(Duration::from_secs(10));
+        let rec = run_one(q2b, Variant::ConjAdd, &cfg);
+        assert!(rec.num_coverages >= 1, "Q2B should be satisfiable");
+        assert_eq!(rec.variant, Variant::ConjAdd);
+    }
+
+    #[test]
+    fn series_group_by_measure() {
+        let qs = beers_queries();
+        let cfg = ChaseConfig::with_limit(4)
+            .enforce_keys(true)
+            .timeout(Duration::from_secs(5));
+        let subset: Vec<_> = qs
+            .into_iter()
+            .filter(|q| matches!(q.name.as_str(), "Q2A" | "Q2B"))
+            .collect();
+        let records = run_workload(&subset, &[Variant::ConjEO], &cfg, false);
+        let s = runtime_series(&records, XMeasure::Quantifiers);
+        assert!(!s.is_empty());
+        let c = coverage_series(&records, XMeasure::Quantifiers);
+        assert_eq!(s.len(), c.len());
+    }
+}

@@ -1,0 +1,25 @@
+//! # cqi-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§5). The `reproduce` binary drives it:
+//!
+//! ```text
+//! reproduce table1          # dataset statistics
+//! reproduce fig8            # Beers: runtime vs 4 complexity measures
+//! reproduce fig10           # Beers: result quality
+//! reproduce fig11           # TPC-H: runtime + quality
+//! reproduce fig12           # Disj-Add limit sensitivity
+//! reproduce fig13           # Conj-Add limit sensitivity
+//! reproduce interactivity   # §5.1 first-instance / gap statistics
+//! reproduce table2          # case study universal solutions
+//! reproduce userstudy       # simulated-user reproduction of Figs. 14-16
+//! reproduce cqneg           # Proposition 3.1(1) fast path
+//! reproduce all             # everything above
+//! ```
+//!
+//! Timeouts and limits default to laptop-friendly values and can be raised
+//! to the paper's 600 s/1200 s with `--timeout`.
+
+pub mod casestudy;
+pub mod harness;
+pub mod userstudy;

@@ -1,0 +1,583 @@
+//! The chase over c-instances: `Tree-Chase-BFS` (Algorithm 1), `Tree-Chase`
+//! (Algorithm 2), and the four node handlers (Algorithms 3–6).
+//!
+//! The BFS explores the (implicit) chase tree: every popped c-instance is
+//! first tested with `Tree-SAT` + `IsConsistent` (satisfying instances are
+//! *results* and are not expanded further), then expanded by the recursive
+//! `Tree-Chase`, which dispatches on the root operator of the current
+//! subtree and recursively re-enters the BFS on child subtrees. The
+//! `visited` set deduplicates modulo renaming of labeled nulls
+//! ([`cqi_instance::is_isomorphic`]), and the `limit` bound on instance size
+//! guarantees termination (Proposition 3.1 makes an unbounded search
+//! undecidable).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+use cqi_drc::{Atom, Formula, Query, Term, VarId};
+use cqi_instance::consistency::is_consistent;
+use cqi_instance::{exact_digest, is_isomorphic, signature, CInstance, Cond};
+use cqi_solver::Ent;
+
+use crate::config::ChaseConfig;
+use crate::conjtree::expand_disj_node;
+use crate::dnf::{has_quantifier, tree_to_conj};
+use crate::treesat::{atom_to_lit, Hom, SatCtx};
+
+/// One chase run (possibly over several trees, for the `Conj-*` and `*-Add`
+/// variants, which all feed the same accepted-instance log).
+pub struct Chase<'a> {
+    pub query: &'a Query,
+    pub cfg: &'a ChaseConfig,
+    /// Whether `Handle-Universal` may mint fresh labeled nulls
+    /// (the `EO` variants disable this).
+    pub universal_fresh: bool,
+    pub start: Instant,
+    deadline: Option<Instant>,
+    pub timed_out: bool,
+    done: bool,
+    /// Satisfying consistent instances accepted at the top level, with
+    /// acceptance timestamps (drives the §5.1 interactivity metrics).
+    pub accepted: Vec<(CInstance, Duration)>,
+    /// Memoized sub-BFS results keyed by (subtree, instance digest,
+    /// relevant homomorphism entries). The recursion re-derives identical
+    /// sub-searches constantly; this cache is the difference between
+    /// seconds and minutes on the harder difference queries.
+    bfs_memo: HashMap<(u64, u64, u64), Vec<CInstance>>,
+    /// Memoized `IsConsistent` answers by instance digest.
+    consist_memo: HashMap<u64, bool>,
+}
+
+fn hash_of<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+impl<'a> Chase<'a> {
+    pub fn new(query: &'a Query, cfg: &'a ChaseConfig, universal_fresh: bool) -> Chase<'a> {
+        let start = Instant::now();
+        Chase {
+            query,
+            cfg,
+            universal_fresh,
+            start,
+            deadline: cfg.timeout.map(|t| start + t),
+            timed_out: false,
+            done: false,
+            accepted: Vec::new(),
+            bfs_memo: HashMap::new(),
+            consist_memo: HashMap::new(),
+        }
+    }
+
+    fn stopped(&mut self) -> bool {
+        if self.done {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.timed_out = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn consistent(&mut self, inst: &CInstance) -> bool {
+        let key = exact_digest(inst);
+        if let Some(v) = self.consist_memo.get(&key) {
+            return *v;
+        }
+        let ans = is_consistent(inst, self.cfg.enforce_keys);
+        if self.consist_memo.len() < 1_000_000 {
+            self.consist_memo.insert(key, ans);
+        }
+        ans
+    }
+
+    /// Runs Algorithm 1 on `formula` from `seed`/`seed_h` as the top level,
+    /// logging accepted instances.
+    pub fn run_root(&mut self, formula: &Formula, seed: CInstance, seed_h: Hom) {
+        self.bfs(formula, &seed_h, &seed, true);
+    }
+
+    /// `Tree-Chase-BFS` (Algorithm 1), memoized for recursive calls.
+    fn bfs(&mut self, q: &Formula, h0: &Hom, i0: &CInstance, top: bool) -> Vec<CInstance> {
+        if top {
+            return self.bfs_inner(q, h0, i0, true);
+        }
+        // Key: subtree structure + exact instance + the homomorphism
+        // entries its free variables see.
+        let fkey = hash_of(&format!("{q:?}"));
+        let ikey = exact_digest(i0);
+        let hkey = {
+            let mut hh = DefaultHasher::new();
+            for v in q.free_vars() {
+                v.0.hash(&mut hh);
+                format!("{:?}", h0.get(v.index()).and_then(|e| e.as_ref())).hash(&mut hh);
+            }
+            hh.finish()
+        };
+        let key = (fkey, ikey, hkey);
+        if let Some(cached) = self.bfs_memo.get(&key) {
+            return cached.clone();
+        }
+        let res = self.bfs_inner(q, h0, i0, false);
+        // Results truncated by timeout/max_results must not poison the
+        // cache.
+        if !self.timed_out && !self.done && self.bfs_memo.len() < 400_000 {
+            self.bfs_memo.insert(key, res.clone());
+        }
+        res
+    }
+
+    fn bfs_inner(&mut self, q: &Formula, h0: &Hom, i0: &CInstance, top: bool) -> Vec<CInstance> {
+        let mut h0 = h0.clone();
+        h0.resize(self.query.vars.len(), None);
+        let mut i0 = i0.clone();
+        // Lines 2–5: bind unbound free variables to fresh labeled nulls.
+        for v in q.free_vars() {
+            if h0[v.index()].is_none() {
+                let d = self.query.var_domain(v);
+                let n = i0.fresh_null(self.query.var_name(v), d);
+                h0[v.index()] = Some(Ent::Null(n));
+            }
+        }
+        let mut res: Vec<CInstance> = Vec::new();
+        let mut queue: VecDeque<CInstance> = VecDeque::new();
+        queue.push_back(i0);
+        let mut visited: Vec<(u64, CInstance)> = Vec::new();
+        while let Some(inst) = queue.pop_front() {
+            if self.stopped() {
+                break;
+            }
+            // Line 10: size bound and visited (isomorphism) check.
+            if inst.size() > self.cfg.limit {
+                continue;
+            }
+            let sig = signature(&inst);
+            if visited
+                .iter()
+                .any(|(s, v)| *s == sig && is_isomorphic(v, &inst))
+            {
+                continue;
+            }
+            visited.push((sig, inst.clone()));
+            // Line 13: Tree-SAT under the *current* homomorphism (recursive
+            // calls must verify satisfaction at the handler's chosen
+            // mapping, not under blanket ∃-closure — otherwise the
+            // Handle-Universal merge would accept bodies satisfied by some
+            // other entity) ∧ IsConsistent(I).
+            let ctx = SatCtx::new(self.query, &inst, self.cfg.enforce_keys);
+            if ctx.tree_sat(q, &h0) && self.consistent(&inst) {
+                if top {
+                    self.accepted.push((inst.clone(), self.start.elapsed()));
+                    if self
+                        .cfg
+                        .max_results
+                        .is_some_and(|m| self.accepted.len() >= m)
+                    {
+                        self.done = true;
+                    }
+                }
+                res.push(inst);
+                continue;
+            }
+            // Lines 16–19: expand.
+            let expansions = self.tree_chase(q, &inst, &h0);
+            for j in expansions {
+                if self.stopped() {
+                    break;
+                }
+                if j.size() <= self.cfg.limit && self.consistent(&j) {
+                    queue.push_back(j);
+                }
+            }
+        }
+        res
+    }
+
+    /// `Tree-Chase` (Algorithm 2): dispatch on the root operator.
+    fn tree_chase(&mut self, q: &Formula, inst: &CInstance, h: &Hom) -> Vec<CInstance> {
+        if !has_quantifier(q) {
+            // Lines 2–7: materialize each DNF conjunction.
+            let mut res = Vec::new();
+            for conj in tree_to_conj(q) {
+                if let Some(j) = self.add_to_ins(inst, &conj, h) {
+                    if self.consistent(&j) {
+                        res.push(j);
+                    }
+                }
+            }
+            return res;
+        }
+        match q {
+            Formula::And(l, r) => self.handle_conjunction(l, r, inst, h),
+            Formula::Or(l, r) => self.handle_disjunction(l, r, inst, h),
+            Formula::Exists(v, b) => self.handle_existential(*v, b, inst, h),
+            Formula::Forall(v, b) => self.handle_universal(*v, b, inst, h),
+            Formula::Atom(_) => unreachable!("atom has no quantifier"),
+        }
+    }
+
+    /// Algorithm 3: chase the left child, then the right child on each of
+    /// its solutions.
+    fn handle_conjunction(
+        &mut self,
+        l: &Formula,
+        r: &Formula,
+        inst: &CInstance,
+        h: &Hom,
+    ) -> Vec<CInstance> {
+        let mut res = Vec::new();
+        let lres = self.bfs(l, h, inst, false);
+        for j in lres {
+            if self.stopped() {
+                break;
+            }
+            // BFS results are already consistent and satisfying.
+            res.extend(self.bfs(r, h, &j, false));
+        }
+        res
+    }
+
+    /// Algorithm 4: expand the root `∨` into its three conjunctive cases.
+    fn handle_disjunction(
+        &mut self,
+        l: &Formula,
+        r: &Formula,
+        inst: &CInstance,
+        h: &Hom,
+    ) -> Vec<CInstance> {
+        let mut res = Vec::new();
+        for case in expand_disj_node(l, r) {
+            if self.stopped() {
+                break;
+            }
+            res.extend(self.bfs(&case, h, inst, false));
+        }
+        res
+    }
+
+    /// Algorithm 5: map the variable to every pool entity, and once to a
+    /// fresh labeled null.
+    fn handle_existential(
+        &mut self,
+        v: VarId,
+        body: &Formula,
+        inst: &CInstance,
+        h: &Hom,
+    ) -> Vec<CInstance> {
+        let d = self.query.var_domain(v);
+        let mut res = Vec::new();
+        for e in inst.domain_pool(d).to_vec() {
+            if self.stopped() {
+                break;
+            }
+            let mut g = h.clone();
+            g[v.index()] = Some(e);
+            res.extend(self.bfs(body, &g, inst, false));
+        }
+        if !self.stopped() {
+            let mut i2 = inst.clone();
+            let y = i2.fresh_null(self.query.var_name(v), d);
+            let mut g = h.clone();
+            g[v.index()] = Some(Ent::Null(y));
+            res.extend(self.bfs(body, &g, &i2, false));
+        }
+        res
+    }
+
+    /// Algorithm 6: solutions for *all* pool entities are merged (the body
+    /// must hold for every one); optionally also for one fresh null.
+    fn handle_universal(
+        &mut self,
+        v: VarId,
+        body: &Formula,
+        inst: &CInstance,
+        h: &Hom,
+    ) -> Vec<CInstance> {
+        let d = self.query.var_domain(v);
+        let pool = inst.domain_pool(d).to_vec();
+        let mut res: Vec<CInstance> = Vec::new();
+        let mut ilist: Vec<CInstance> = vec![inst.clone()];
+        if pool.is_empty() {
+            // Lines 2–3: a universal over an empty domain holds vacuously.
+            res.push(inst.clone());
+        } else {
+            for e in pool {
+                if self.stopped() {
+                    break;
+                }
+                let mut g = h.clone();
+                g[v.index()] = Some(e);
+                let mut cur = Vec::new();
+                for j1 in &ilist {
+                    cur.extend(self.bfs(body, &g, j1, false));
+                }
+                ilist = cur;
+            }
+            res.extend(ilist.iter().cloned());
+        }
+        // Lines 15–24: additionally require the body for a fresh null
+        // (skipped by the EO variants — may lose completeness, §4.3).
+        if self.universal_fresh && !self.stopped() {
+            let mut cur = Vec::new();
+            for j1 in &ilist {
+                let mut j = j1.clone();
+                let y = j.fresh_null(self.query.var_name(v), d);
+                let mut g = h.clone();
+                g[v.index()] = Some(Ent::Null(y));
+                cur.extend(self.bfs(body, &g, &j, false));
+            }
+            res.extend(cur);
+        }
+        res
+    }
+
+    /// `Add-to-Ins`: materializes one conjunction of atoms into a copy of
+    /// `inst` under the homomorphism `h`. Returns `None` when a
+    /// constant-only condition is already false.
+    pub fn add_to_ins(
+        &self,
+        inst: &CInstance,
+        conj: &[Atom],
+        h: &Hom,
+    ) -> Option<CInstance> {
+        materialize(self.query, inst, conj, h)
+    }
+}
+
+/// Materializes a conjunction of atoms into a copy of `inst` under `h`
+/// (the body of `Add-to-Ins`, also used directly by the CQ¬ fast path and
+/// the `*-Add` seeding).
+pub fn materialize(
+    query: &Query,
+    inst: &CInstance,
+    conj: &[Atom],
+    h: &Hom,
+) -> Option<CInstance> {
+    let mut j = inst.clone();
+    for atom in conj {
+        match atom {
+            Atom::Rel { negated, rel, terms } => {
+                let mut tuple: Vec<Ent> = Vec::with_capacity(terms.len());
+                for (col, t) in terms.iter().enumerate() {
+                    let d = query.schema.attr_domain(*rel, col);
+                    let e = match t {
+                        Term::Var(v) => h[v.index()]
+                            .clone()
+                            .expect("free variable bound before Add-to-Ins"),
+                        Term::Const(c) => {
+                            j.add_const_to_domain(d, c.clone());
+                            Ent::Const(c.clone())
+                        }
+                        Term::Wildcard => Ent::Null(j.fresh_dont_care(d)),
+                    };
+                    tuple.push(e);
+                }
+                if *negated {
+                    j.add_cond(Cond::NotIn { rel: *rel, tuple });
+                } else {
+                    j.add_tuple(*rel, tuple);
+                }
+            }
+            Atom::Cmp { op, lhs, rhs, .. } => {
+                // LIKE patterns are *patterns*, not domain values — they
+                // must never join the quantifier pools (a pattern string in
+                // a pool produces phantom coverage).
+                let register = *op != cqi_drc::CmpOp::Like;
+                let resolve = |t: &Term, j: &mut CInstance, partner: &Term| -> Ent {
+                    match t {
+                        Term::Var(v) => h[v.index()]
+                            .clone()
+                            .expect("free variable bound before Add-to-Ins"),
+                        Term::Const(c) => {
+                            // Register the constant in the partner
+                            // variable's domain pool so quantifiers can
+                            // map to it later.
+                            if register {
+                                if let Term::Var(pv) = partner {
+                                    j.add_const_to_domain(query.var_domain(*pv), c.clone());
+                                }
+                            }
+                            Ent::Const(c.clone())
+                        }
+                        Term::Wildcard => {
+                            unreachable!("wildcards cannot appear in comparisons")
+                        }
+                    }
+                };
+                let a = resolve(lhs, &mut j, rhs);
+                let b = resolve(rhs, &mut j, lhs);
+                if let (Ent::Const(_), Ent::Const(_)) = (&a, &b) {
+                    // Evaluate immediately; false kills the conjunction,
+                    // true need not be recorded.
+                    let lit = atom_to_lit(atom, &a, &b);
+                    let m = cqi_solver::Model::default();
+                    match m.eval_lit(&lit) {
+                        Some(true) => continue,
+                        _ => return None,
+                    }
+                }
+                j.add_cond(Cond::Lit(atom_to_lit(atom, &a, &b)));
+            }
+        }
+    }
+    Some(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_drc::parse_query;
+    use cqi_schema::{DomainType, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "Serves",
+                    &[
+                        ("bar", DomainType::Text),
+                        ("beer", DomainType::Text),
+                        ("price", DomainType::Real),
+                    ],
+                )
+                .relation(
+                    "Likes",
+                    &[("drinker", DomainType::Text), ("beer", DomainType::Text)],
+                )
+                .same_domain(("Serves", "beer"), ("Likes", "beer"))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn run(src: &str, limit: usize) -> Vec<CInstance> {
+        let s = schema();
+        let q = parse_query(&s, src).unwrap();
+        let cfg = ChaseConfig::with_limit(limit);
+        let mut chase = Chase::new(&q, &cfg, true);
+        let seed = CInstance::new(Arc::clone(&s));
+        chase.run_root(&q.formula.clone(), seed, vec![None; q.vars.len()]);
+        chase.accepted.into_iter().map(|(i, _)| i).collect()
+    }
+
+    #[test]
+    fn single_atom_query_builds_one_tuple() {
+        let accepted = run("{ (b1) | exists d1 (Likes(d1, b1)) }", 4);
+        assert!(!accepted.is_empty());
+        // The smallest accepted instance is a single Likes tuple.
+        let min = accepted.iter().map(CInstance::size).min().unwrap();
+        assert_eq!(min, 1);
+    }
+
+    #[test]
+    fn conjunction_joins_on_shared_variable() {
+        let accepted = run(
+            "{ (b1) | exists d1 (Likes(d1, b1)) and exists x1, p1 (Serves(x1, b1, p1)) }",
+            4,
+        );
+        assert!(!accepted.is_empty());
+        for inst in &accepted {
+            // Both tables populated, sharing the beer null.
+            assert!(inst.tables.iter().all(|t| !t.is_empty()));
+        }
+    }
+
+    #[test]
+    fn comparison_condition_lands_in_global() {
+        let accepted = run(
+            "{ (x1, b1) | exists p1, x2, p2 . Serves(x1, b1, p1) and Serves(x2, b1, p2) and p1 > p2 }",
+            8,
+        );
+        assert!(!accepted.is_empty());
+        assert!(accepted
+            .iter()
+            .any(|i| i.global.iter().any(|c| matches!(c, Cond::Lit(_)))));
+    }
+
+    #[test]
+    fn universal_over_empty_pool_accepted_vacuously() {
+        // With no drinker nulls in any pool, ∀d1 (¬Likes(d1,b1)) holds
+        // vacuously, so Algorithm 1 accepts the Serves-only instance
+        // without expanding it (reaching the ¬Likes coverage is the job of
+        // the *-Add seeding, tested in `variants`).
+        let accepted = run(
+            "{ (b1) | exists x1, p1 (Serves(x1, b1, p1)) and forall d1 (not Likes(d1, b1)) }",
+            6,
+        );
+        assert!(!accepted.is_empty());
+        assert!(accepted
+            .iter()
+            .any(|i| i.global.iter().all(|c| !matches!(c, Cond::NotIn { .. }))));
+    }
+
+    #[test]
+    fn disjunction_produces_multiple_shapes() {
+        let accepted = run(
+            "{ (x1) | exists b1, p1 (Serves(x1, b1, p1) and (p1 > 3.0 or p1 < 1.0)) }",
+            6,
+        );
+        // Both the >3 and <1 shapes must be found.
+        let has_gt = accepted.iter().any(|i| {
+            i.global
+                .iter()
+                .any(|c| i.cond_string(c).contains("> 3") || i.cond_string(c).contains("3 <"))
+        });
+        let has_lt = accepted.iter().any(|i| {
+            i.global
+                .iter()
+                .any(|c| i.cond_string(c).contains("< 1") || i.cond_string(c).contains("1 >"))
+        });
+        assert!(has_gt && has_lt, "{:?}", accepted.len());
+    }
+
+    #[test]
+    fn limit_bounds_instance_size() {
+        let accepted = run(
+            "{ (x1, b1) | exists p1, x2, p2 . Serves(x1, b1, p1) and Serves(x2, b1, p2) and p1 > p2 }",
+            5,
+        );
+        assert!(accepted.iter().all(|i| i.size() <= 5));
+    }
+
+    #[test]
+    fn timeout_flags_and_stops() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (x1, b1) | exists d1, p1 . Serves(x1, b1, p1) and Likes(d1, b1) \
+             and forall x2, p2 (not Serves(x2, b1, p2) or p1 >= p2) }",
+        )
+        .unwrap();
+        let cfg = ChaseConfig::with_limit(12).timeout(Duration::from_millis(1));
+        let mut chase = Chase::new(&q, &cfg, true);
+        chase.run_root(
+            &q.formula.clone(),
+            CInstance::new(Arc::clone(&s)),
+            vec![None; q.vars.len()],
+        );
+        // With a 1 ms budget the search cannot finish exploring.
+        assert!(chase.timed_out || !chase.accepted.is_empty());
+    }
+
+    #[test]
+    fn max_results_short_circuits() {
+        let s = schema();
+        let q = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        let cfg = ChaseConfig::with_limit(8).max_results(1);
+        let mut chase = Chase::new(&q, &cfg, true);
+        chase.run_root(
+            &q.formula.clone(),
+            CInstance::new(Arc::clone(&s)),
+            vec![None; q.vars.len()],
+        );
+        assert_eq!(chase.accepted.len(), 1);
+    }
+}

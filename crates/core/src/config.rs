@@ -1,0 +1,145 @@
+//! Chase configuration and the six algorithm variants of §5.
+
+use std::time::Duration;
+
+/// The algorithm variants compared throughout the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Variant {
+    /// Exhaustive chase (§4.2) expanding each `∨` node in place.
+    DisjNaive,
+    /// Whole-tree conversion to `∨`-free trees first (§4.3).
+    ConjNaive,
+    /// `Disj-Naive` but fresh labeled nulls are only introduced at `∃`
+    /// nodes ("EO" = existential-only).
+    DisjEO,
+    /// `Conj-Naive` with the EO restriction.
+    ConjEO,
+    /// `Disj-EO`, then re-seeded runs targeting still-uncovered leaf atoms.
+    DisjAdd,
+    /// `Conj-EO`, then re-seeded runs targeting still-uncovered leaf atoms.
+    ConjAdd,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 6] = [
+        Variant::DisjEO,
+        Variant::DisjAdd,
+        Variant::DisjNaive,
+        Variant::ConjEO,
+        Variant::ConjAdd,
+        Variant::ConjNaive,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::DisjNaive => "Disj-Naive",
+            Variant::ConjNaive => "Conj-Naive",
+            Variant::DisjEO => "Disj-EO",
+            Variant::ConjEO => "Conj-EO",
+            Variant::DisjAdd => "Disj-Add",
+            Variant::ConjAdd => "Conj-Add",
+        }
+    }
+
+    /// Does this variant pre-convert the tree to `∨`-free trees?
+    pub fn is_conjunctive(self) -> bool {
+        matches!(
+            self,
+            Variant::ConjNaive | Variant::ConjEO | Variant::ConjAdd
+        )
+    }
+
+    /// Does this variant allow `∀` nodes to mint fresh labeled nulls?
+    pub fn universal_fresh_nulls(self) -> bool {
+        matches!(self, Variant::DisjNaive | Variant::ConjNaive)
+    }
+
+    /// Does this variant run the coverage-seeded second phase?
+    pub fn is_add(self) -> bool {
+        matches!(self, Variant::DisjAdd | Variant::ConjAdd)
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of one chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Maximum c-instance size (tuples + atomic conditions) — the `limit`
+    /// of Algorithm 1, ensuring termination.
+    pub limit: usize,
+    /// Wall-clock budget; on expiry the run returns the instances found so
+    /// far and flags `timed_out`.
+    pub timeout: Option<Duration>,
+    /// Overrides the variant's default for fresh nulls at `∀` nodes
+    /// (`None` = variant default).
+    pub universal_fresh_nulls: Option<bool>,
+    /// Feed key-constraint EGD clauses to the consistency check.
+    pub enforce_keys: bool,
+    /// Optional cap on accepted satisfying instances (before minimization).
+    pub max_results: Option<usize>,
+}
+
+impl ChaseConfig {
+    pub fn with_limit(limit: usize) -> ChaseConfig {
+        ChaseConfig {
+            limit,
+            timeout: None,
+            universal_fresh_nulls: None,
+            enforce_keys: false,
+            max_results: None,
+        }
+    }
+
+    pub fn timeout(mut self, d: Duration) -> ChaseConfig {
+        self.timeout = Some(d);
+        self
+    }
+
+    pub fn enforce_keys(mut self, on: bool) -> ChaseConfig {
+        self.enforce_keys = on;
+        self
+    }
+
+    pub fn max_results(mut self, n: usize) -> ChaseConfig {
+        self.max_results = Some(n);
+        self
+    }
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig::with_limit(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_properties() {
+        assert!(Variant::DisjNaive.universal_fresh_nulls());
+        assert!(!Variant::DisjEO.universal_fresh_nulls());
+        assert!(Variant::ConjAdd.is_conjunctive());
+        assert!(Variant::ConjAdd.is_add());
+        assert!(!Variant::DisjNaive.is_add());
+        assert_eq!(Variant::DisjAdd.name(), "Disj-Add");
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ChaseConfig::with_limit(15)
+            .timeout(Duration::from_secs(5))
+            .enforce_keys(true)
+            .max_results(3);
+        assert_eq!(c.limit, 15);
+        assert_eq!(c.timeout, Some(Duration::from_secs(5)));
+        assert!(c.enforce_keys);
+        assert_eq!(c.max_results, Some(3));
+    }
+}

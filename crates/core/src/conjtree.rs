@@ -1,0 +1,193 @@
+//! Conversion of syntax trees with `∨` into sets of `∨`-free
+//! ("conjunctive") trees (§4.3).
+//!
+//! `Q1 ∨ Q2` expands to the three cases `{Q1 ∧ Q2, ¬Q1 ∧ Q2, Q1 ∧ ¬Q2}`.
+//! As the paper stresses (Example 10/11), this conversion is **not**
+//! equivalence-preserving under quantifiers — only soundness
+//! (`converted ⇒ original`) holds — which is exactly the
+//! completeness-for-speed trade the `Conj-*` variants make.
+
+use cqi_drc::normalize::negate;
+use cqi_drc::Formula;
+
+/// The single-node expansion used by `Handle-Disjunction` (Algorithm 4):
+/// the root `∨` becomes three `∧` trees (negations pushed to leaves);
+/// nested disjunctions are left in place for later recursion.
+pub fn expand_disj_node(l: &Formula, r: &Formula) -> [Formula; 3] {
+    [
+        Formula::and(l.clone(), r.clone()),
+        Formula::and(negate(l.clone()), r.clone()),
+        Formula::and(l.clone(), negate(r.clone())),
+    ]
+}
+
+/// Whole-tree conversion (the `Conj-*` variants): every `∨` *of the
+/// original tree* is expanded into its three cases. Disjunctions that the
+/// case-negations themselves introduce (De Morgan over an `∧`, or a negated
+/// `∃`-block) are left in place, exactly as the paper's Example 11 does —
+/// its second converted formula retains `∀x3,p4 (¬Serves ∨ p3 ≥ p4)`; the
+/// residual `∨`s are handled by `Handle-Disjunction` during the chase.
+/// Duplicate trees are pruned.
+pub fn conjunctive_trees(f: &Formula) -> Vec<Formula> {
+    let mut out = convert(f);
+    let mut seen = std::collections::HashSet::new();
+    out.retain(|t| seen.insert(format!("{t:?}")));
+    out
+}
+
+fn convert(f: &Formula) -> Vec<Formula> {
+    match f {
+        Formula::Atom(_) => vec![f.clone()],
+        Formula::And(l, r) => {
+            let ls = convert(l);
+            let rs = convert(r);
+            let mut out = Vec::with_capacity(ls.len() * rs.len());
+            for lt in &ls {
+                for rt in &rs {
+                    out.push(Formula::and(lt.clone(), rt.clone()));
+                }
+            }
+            out
+        }
+        Formula::Or(l, r) => {
+            let ls = convert(l);
+            let rs = convert(r);
+            let nl = negate((**l).clone());
+            let nr = negate((**r).clone());
+            let mut out = Vec::new();
+            // Q1 ∧ Q2
+            for lt in &ls {
+                for rt in &rs {
+                    out.push(Formula::and(lt.clone(), rt.clone()));
+                }
+            }
+            // ¬Q1 ∧ Q2 (the negated side stays whole)
+            for rt in &rs {
+                out.push(Formula::and(nl.clone(), rt.clone()));
+            }
+            // Q1 ∧ ¬Q2
+            for lt in &ls {
+                out.push(Formula::and(lt.clone(), nr.clone()));
+            }
+            out
+        }
+        Formula::Exists(v, b) => convert(b)
+            .into_iter()
+            .map(|t| Formula::Exists(*v, Box::new(t)))
+            .collect(),
+        Formula::Forall(v, b) => convert(b)
+            .into_iter()
+            .map(|t| Formula::Forall(*v, Box::new(t)))
+            .collect(),
+    }
+}
+
+/// Is the tree free of `∨` nodes?
+pub fn is_or_free(f: &Formula) -> bool {
+    match f {
+        Formula::Atom(_) => true,
+        Formula::Or(..) => false,
+        Formula::And(l, r) => is_or_free(l) && is_or_free(r),
+        Formula::Exists(_, b) | Formula::Forall(_, b) => is_or_free(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_drc::parse_query;
+    use cqi_schema::{DomainType, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "Serves",
+                    &[
+                        ("bar", DomainType::Text),
+                        ("beer", DomainType::Text),
+                        ("price", DomainType::Real),
+                    ],
+                )
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_or_gives_three_trees() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (x1, b1) | exists p1 (Serves(x1, b1, p1) and forall x2, p2 (not Serves(x2, b1, p2) or p2 <= p1)) }",
+        )
+        .unwrap();
+        let trees = conjunctive_trees(&q.formula);
+        assert_eq!(trees.len(), 3);
+        assert!(trees.iter().all(is_or_free));
+    }
+
+    #[test]
+    fn negated_and_keeps_residual_or() {
+        // (a ∧ b) ∨ c: the ¬(a ∧ b) case keeps ¬a ∨ ¬b in place (Example
+        // 11's behaviour) for Handle-Disjunction to process at chase time.
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (x1) | exists b1, p1 ((Serves(x1, b1, p1) and p1 > 2.0) or p1 < 1.0) }",
+        )
+        .unwrap();
+        let trees = conjunctive_trees(&q.formula);
+        assert_eq!(trees.len(), 3);
+        assert!(trees.iter().any(|t| !is_or_free(t)), "¬(a∧b) retains an ∨");
+    }
+
+    #[test]
+    fn or_chain_counts() {
+        // A 3-disjunct chain yields 7 trees (3 per ∨ without recursive
+        // blow-up of the negated blocks).
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (x1) | exists b1, p1 (Serves(x1, b1, p1) and (p1 > 3.0 or p1 < 1.0 or p1 = 2.0)) }",
+        )
+        .unwrap();
+        let trees = conjunctive_trees(&q.formula);
+        assert_eq!(trees.len(), 7);
+    }
+
+    #[test]
+    fn or_free_tree_is_unchanged() {
+        let s = schema();
+        let q = parse_query(&s, "{ (x1) | exists b1, p1 (Serves(x1, b1, p1)) }").unwrap();
+        let trees = conjunctive_trees(&q.formula);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(
+            format!("{:?}", trees[0]),
+            format!("{:?}", q.formula)
+        );
+    }
+
+    #[test]
+    fn expand_node_shapes() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (x1) | exists b1, p1 (Serves(x1, b1, p1) and (p1 > 2.0 or p1 < 1.0)) }",
+        )
+        .unwrap();
+        // Find the Or node.
+        fn find_or(f: &Formula) -> Option<(&Formula, &Formula)> {
+            match f {
+                Formula::Or(l, r) => Some((l, r)),
+                Formula::And(l, r) => find_or(l).or_else(|| find_or(r)),
+                Formula::Exists(_, b) | Formula::Forall(_, b) => find_or(b),
+                Formula::Atom(_) => None,
+            }
+        }
+        let (l, r) = find_or(&q.formula).unwrap();
+        let cases = expand_disj_node(l, r);
+        assert!(cases.iter().all(|c| matches!(c, Formula::And(..))));
+    }
+}

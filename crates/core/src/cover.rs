@@ -1,0 +1,181 @@
+//! Coverage of satisfying c-instances with respect to the *original* query
+//! syntax tree.
+//!
+//! This is the constructive counterpart of Definition 8 that the paper's
+//! implementation uses ("we keep track of the coverage of each c-instance
+//! as it is created"): a leaf is covered when its homomorphic image is
+//! certainly satisfied by the instance — a tuple for positive leaves,
+//! membership in the global condition for negated/comparison leaves — and
+//! the recursion mirrors Definition 7, unioning over the per-domain entity
+//! pools at quantifiers and over all satisfying assignments of the output
+//! variables at the top.
+
+use cqi_drc::{Coverage, Formula, LeafId, Query};
+use cqi_instance::CInstance;
+use cqi_solver::Ent;
+
+use crate::treesat::{Hom, SatCtx};
+
+/// `cov(Q, I)` for a satisfying c-instance.
+pub fn coverage_of_cinstance(q: &Query, inst: &CInstance) -> Coverage {
+    coverage_of_cinstance_keys(q, inst, false)
+}
+
+/// `cov(Q, I)` with key constraints taken into account during certainty
+/// checks.
+pub fn coverage_of_cinstance_keys(q: &Query, inst: &CInstance, enforce_keys: bool) -> Coverage {
+    let ctx = SatCtx::new(q, inst, enforce_keys);
+    let mut cov = Coverage::new();
+    let mut h: Hom = vec![None; q.vars.len()];
+    enumerate_alphas(&ctx, &mut h, 0, &mut cov);
+    cov
+}
+
+fn enumerate_alphas(ctx: &SatCtx<'_>, h: &mut Hom, i: usize, cov: &mut Coverage) {
+    let q = ctx.query;
+    if i == q.out_vars.len() {
+        if ctx.tree_sat(&q.formula, h) {
+            let mut next = 0u32;
+            walk(ctx, h, &q.formula, &mut next, cov);
+        }
+        return;
+    }
+    let v = q.out_vars[i];
+    let pool: Vec<Ent> = ctx.inst.domain_pool(q.var_domain(v)).to_vec();
+    for e in pool {
+        h[v.index()] = Some(e);
+        enumerate_alphas(ctx, h, i + 1, cov);
+    }
+    h[v.index()] = None;
+}
+
+fn walk(ctx: &SatCtx<'_>, h: &mut Hom, f: &Formula, next: &mut u32, cov: &mut Coverage) {
+    match f {
+        Formula::Atom(a) => {
+            let id = LeafId(*next);
+            *next += 1;
+            if ctx.leaf(h, a) {
+                cov.insert(id);
+            }
+        }
+        Formula::And(l, r) | Formula::Or(l, r) => {
+            walk(ctx, h, l, next, cov);
+            walk(ctx, h, r, next, cov);
+        }
+        Formula::Exists(v, b) | Formula::Forall(v, b) => {
+            let start = *next;
+            let pool: Vec<Ent> = ctx.inst.domain_pool(ctx.query.var_domain(*v)).to_vec();
+            let mut end = start;
+            if pool.is_empty() {
+                let mut probe = start;
+                count_leaves(b, &mut probe);
+                end = probe;
+            }
+            for e in pool {
+                h[v.index()] = Some(e);
+                let mut sub = start;
+                walk(ctx, h, b, &mut sub, cov);
+                end = sub;
+            }
+            h[v.index()] = None;
+            *next = end;
+        }
+    }
+}
+
+fn count_leaves(f: &Formula, next: &mut u32) {
+    match f {
+        Formula::Atom(_) => *next += 1,
+        Formula::And(l, r) | Formula::Or(l, r) => {
+            count_leaves(l, next);
+            count_leaves(r, next);
+        }
+        Formula::Exists(_, b) | Formula::Forall(_, b) => count_leaves(b, next),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_drc::parse_query;
+    use cqi_instance::Cond;
+    use cqi_schema::{DomainType, Schema};
+    use cqi_solver::{Lit, SolverOp};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "Serves",
+                    &[
+                        ("bar", DomainType::Text),
+                        ("beer", DomainType::Text),
+                        ("price", DomainType::Real),
+                    ],
+                )
+                .relation(
+                    "Likes",
+                    &[("drinker", DomainType::Text), ("beer", DomainType::Text)],
+                )
+                .same_domain(("Serves", "beer"), ("Likes", "beer"))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn conjunctive_instance_covers_all_leaves() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (b1) | exists d1 (Likes(d1, b1)) and exists x1, p1 (Serves(x1, b1, p1)) }",
+        )
+        .unwrap();
+        let serves = s.rel_id("Serves").unwrap();
+        let likes = s.rel_id("Likes").unwrap();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let b1 = inst.fresh_null("b1", s.attr_domain(likes, 1));
+        let d1 = inst.fresh_null("d1", s.attr_domain(likes, 0));
+        let x1 = inst.fresh_null("x1", s.attr_domain(serves, 0));
+        let p1 = inst.fresh_null("p1", s.attr_domain(serves, 2));
+        inst.add_tuple(likes, vec![d1.into(), b1.into()]);
+        inst.add_tuple(serves, vec![x1.into(), b1.into(), p1.into()]);
+        let cov = coverage_of_cinstance(&q, &inst);
+        assert_eq!(cov.len(), 2);
+    }
+
+    #[test]
+    fn partial_instance_covers_one_disjunct() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (b1) | exists x1, p1 (Serves(x1, b1, p1) and (p1 > 3.0 or p1 < 1.0)) }",
+        )
+        .unwrap();
+        let serves = s.rel_id("Serves").unwrap();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let b1 = inst.fresh_null("b1", s.attr_domain(serves, 1));
+        let x1 = inst.fresh_null("x1", s.attr_domain(serves, 0));
+        let p1 = inst.fresh_null("p1", s.attr_domain(serves, 2));
+        inst.add_tuple(serves, vec![x1.into(), b1.into(), p1.into()]);
+        inst.add_cond(Cond::Lit(Lit::cmp(
+            p1,
+            SolverOp::Gt,
+            cqi_schema::Value::real(3.0),
+        )));
+        let cov = coverage_of_cinstance(&q, &inst);
+        // Leaves: Serves (0), p1>3 (1), p1<1 (2): only 0 and 1 covered.
+        assert_eq!(cov.len(), 2);
+        assert!(cov.contains(&LeafId(0)));
+        assert!(cov.contains(&LeafId(1)));
+    }
+
+    #[test]
+    fn unsatisfying_instance_has_empty_coverage() {
+        let s = schema();
+        let q = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        let inst = CInstance::new(Arc::clone(&s));
+        assert!(coverage_of_cinstance(&q, &inst).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! # cqi-core
+//!
+//! The paper's primary contribution: computing *minimal c-solutions* — sets
+//! of minimal satisfying c-instances with pairwise-distinct coverage — for
+//! Domain Relational Calculus queries, by a chase-style search over
+//! c-instances (§4).
+//!
+//! ## Entry points
+//!
+//! * [`run_variant`] — run one of the six algorithm variants of §5
+//!   (`Disj/Conj × Naive/EO/Add`) on a query, producing a [`CSolution`].
+//! * [`cq_neg_universal_solution`] — the poly-time universal solution for
+//!   CQ¬ queries (Proposition 3.1(1)).
+//! * [`tree_sat`] — does a c-instance satisfy a query (Algorithm 7)?
+//! * [`coverage_of_cinstance`] — which original syntax-tree leaves does a
+//!   satisfying c-instance cover?
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cqi_schema::{DomainType, Schema};
+//! use cqi_drc::{parse_query, SyntaxTree};
+//! use cqi_core::{run_variant, ChaseConfig, Variant};
+//!
+//! let schema = Arc::new(
+//!     Schema::builder()
+//!         .relation("Likes", &[("drinker", DomainType::Text), ("beer", DomainType::Text)])
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let q = parse_query(&schema, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+//! let tree = SyntaxTree::new(q);
+//! let sol = run_variant(&tree, Variant::ConjAdd, &ChaseConfig::with_limit(6));
+//! assert!(!sol.instances.is_empty());
+//! ```
+
+pub mod chase;
+pub mod config;
+pub mod conjtree;
+pub mod cover;
+pub mod cqneg;
+pub mod dnf;
+pub mod solution;
+pub mod testgen;
+pub mod treesat;
+pub mod variants;
+
+pub use config::{ChaseConfig, Variant};
+pub use cover::coverage_of_cinstance;
+pub use cqneg::cq_neg_universal_solution;
+pub use solution::{CSolution, SatInstance};
+pub use treesat::tree_sat;
+pub use testgen::{generate_selective_instance, generate_test_matrix};
+pub use variants::{run_variant, run_variant_deepening};

@@ -1,0 +1,177 @@
+//! Minimal c-solutions (Definition 10) and the minimality post-processing
+//! of §4.2 ("for each c-instance in the set, we get all other c-instances
+//! with the same coverage and remove all but the minimal one").
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use cqi_drc::Coverage;
+use cqi_instance::CInstance;
+
+/// One satisfying c-instance together with its coverage and the moment it
+/// was accepted by the search.
+#[derive(Clone, Debug)]
+pub struct SatInstance {
+    pub inst: CInstance,
+    pub coverage: Coverage,
+    pub accepted_at: Duration,
+}
+
+impl SatInstance {
+    pub fn size(&self) -> usize {
+        self.inst.size()
+    }
+}
+
+/// The result of one chase run: a minimal c-solution plus run statistics.
+#[derive(Clone, Debug)]
+pub struct CSolution {
+    /// Minimal c-instances, one per distinct coverage, ordered by
+    /// acceptance time.
+    pub instances: Vec<SatInstance>,
+    /// Satisfying instances accepted before minimization.
+    pub raw_accepted: usize,
+    pub timed_out: bool,
+    pub total_time: Duration,
+}
+
+impl CSolution {
+    /// Number of distinct coverages (the y-axis of Fig. 10 left / Fig. 11
+    /// right).
+    pub fn num_coverages(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Mean instance size (the "Ins. Size of Joint Cov." axis of Fig. 10,
+    /// computed over a caller-chosen subset of common coverages).
+    pub fn mean_size(&self) -> f64 {
+        if self.instances.is_empty() {
+            return 0.0;
+        }
+        self.instances.iter().map(|i| i.size() as f64).sum::<f64>()
+            / self.instances.len() as f64
+    }
+
+    pub fn coverages(&self) -> impl Iterator<Item = &Coverage> {
+        self.instances.iter().map(|i| &i.coverage)
+    }
+
+    /// Union of all covered leaves.
+    pub fn covered_union(&self) -> Coverage {
+        let mut out = Coverage::new();
+        for i in &self.instances {
+            out.extend(i.coverage.iter().copied());
+        }
+        out
+    }
+
+    /// Time until the first instance was emitted (§5.1 interactivity).
+    pub fn time_to_first(&self) -> Option<Duration> {
+        self.instances.iter().map(|i| i.accepted_at).min()
+    }
+
+    /// Mean delay between consecutive emissions of instances with distinct
+    /// coverage (§5.1 interactivity).
+    pub fn mean_gap(&self) -> Option<Duration> {
+        let mut times: Vec<Duration> = self.instances.iter().map(|i| i.accepted_at).collect();
+        times.sort();
+        if times.len() < 2 {
+            return None;
+        }
+        let total: Duration = times.windows(2).map(|w| w[1] - w[0]).sum();
+        Some(total / (times.len() as u32 - 1))
+    }
+}
+
+/// Keeps, for every distinct coverage, one instance of minimum size
+/// (Definitions 9/10), breaking ties by acceptance order.
+pub fn minimize(accepted: Vec<(CInstance, Coverage, Duration)>) -> Vec<SatInstance> {
+    let mut best: HashMap<Coverage, SatInstance> = HashMap::new();
+    for (inst, coverage, accepted_at) in accepted {
+        let cand = SatInstance {
+            inst,
+            coverage: coverage.clone(),
+            accepted_at,
+        };
+        match best.get(&coverage) {
+            Some(cur) if cur.size() <= cand.size() => {}
+            _ => {
+                best.insert(coverage, cand);
+            }
+        }
+    }
+    let mut out: Vec<SatInstance> = best.into_values().collect();
+    out.sort_by_key(|i| (i.accepted_at, i.size()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_drc::LeafId;
+    use cqi_schema::{DomainType, Schema};
+    use std::sync::Arc;
+
+    fn inst_of_size(n: usize) -> CInstance {
+        let s = Arc::new(
+            Schema::builder()
+                .relation("R", &[("a", DomainType::Int)])
+                .build()
+                .unwrap(),
+        );
+        let mut i = CInstance::new(Arc::clone(&s));
+        let rel = s.rel_id("R").unwrap();
+        for k in 0..n {
+            let x = i.fresh_null(format!("x{k}"), s.attr_domain(rel, 0));
+            i.add_tuple(rel, vec![x.into()]);
+        }
+        i
+    }
+
+    fn cov(ids: &[u32]) -> Coverage {
+        ids.iter().map(|i| LeafId(*i)).collect()
+    }
+
+    #[test]
+    fn minimize_keeps_smallest_per_coverage() {
+        let accepted = vec![
+            (inst_of_size(3), cov(&[0, 1]), Duration::from_millis(5)),
+            (inst_of_size(2), cov(&[0, 1]), Duration::from_millis(9)),
+            (inst_of_size(4), cov(&[0, 1, 2]), Duration::from_millis(7)),
+        ];
+        let out = minimize(accepted);
+        assert_eq!(out.len(), 2);
+        let small = out.iter().find(|i| i.coverage == cov(&[0, 1])).unwrap();
+        assert_eq!(small.size(), 2);
+    }
+
+    #[test]
+    fn solution_statistics() {
+        let out = minimize(vec![
+            (inst_of_size(1), cov(&[0]), Duration::from_millis(10)),
+            (inst_of_size(3), cov(&[1]), Duration::from_millis(40)),
+            (inst_of_size(2), cov(&[0, 1]), Duration::from_millis(70)),
+        ]);
+        let sol = CSolution {
+            instances: out,
+            raw_accepted: 3,
+            timed_out: false,
+            total_time: Duration::from_millis(80),
+        };
+        assert_eq!(sol.num_coverages(), 3);
+        assert!((sol.mean_size() - 2.0).abs() < 1e-9);
+        assert_eq!(sol.time_to_first(), Some(Duration::from_millis(10)));
+        assert_eq!(sol.mean_gap(), Some(Duration::from_millis(30)));
+        assert_eq!(sol.covered_union(), cov(&[0, 1]));
+    }
+
+    #[test]
+    fn tie_breaks_by_first_acceptance() {
+        let out = minimize(vec![
+            (inst_of_size(2), cov(&[0]), Duration::from_millis(1)),
+            (inst_of_size(2), cov(&[0]), Duration::from_millis(2)),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].accepted_at, Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,139 @@
+//! Workload-level test generation (§1, third use case): given a set of
+//! workload queries, generate test instances on which a *chosen subset* of
+//! the queries is satisfied and the rest are not — automated, comprehensive
+//! testing of query workloads.
+//!
+//! The combined requirement is itself a DRC query (conjunction of
+//! existentially closed bodies and their negations), so the whole machinery
+//! — chase, consistency, grounding — applies unchanged.
+
+use std::collections::BTreeMap;
+
+use cqi_drc::normalize::combine;
+use cqi_drc::{Query, QueryError, SyntaxTree};
+use cqi_instance::{ground_instance, GroundInstance};
+
+use crate::config::{ChaseConfig, Variant};
+use crate::variants::run_variant;
+
+/// Finds one ground instance satisfying exactly the queries flagged in
+/// `positive` (and violating the rest). Returns `Ok(None)` when the chase
+/// finds no witness within the configured limit/timeout — which may mean
+/// the combination is unsatisfiable, or just out of reach (undecidability,
+/// Proposition 3.1).
+pub fn generate_selective_instance(
+    queries: &[&Query],
+    positive: &[bool],
+    cfg: &ChaseConfig,
+) -> Result<Option<GroundInstance>, QueryError> {
+    let combined = combine(queries, positive)?;
+    let tree = SyntaxTree::new(combined);
+    let mut cfg = cfg.clone();
+    cfg.max_results = Some(cfg.max_results.unwrap_or(1));
+    let sol = run_variant(&tree, Variant::ConjAdd, &cfg);
+    for si in &sol.instances {
+        if let Some(g) = ground_instance(&si.inst, cfg.enforce_keys) {
+            return Ok(Some(g));
+        }
+    }
+    Ok(None)
+}
+
+/// Generates one test database per achievable subset pattern of up to
+/// `2^queries.len()` combinations, keyed by the pattern bits
+/// (`pattern & (1 << i) != 0` ⇔ query `i` satisfied).
+pub fn generate_test_matrix(
+    queries: &[&Query],
+    cfg: &ChaseConfig,
+) -> Result<BTreeMap<u32, GroundInstance>, QueryError> {
+    assert!(queries.len() <= 16, "subset enumeration is exponential");
+    let mut out = BTreeMap::new();
+    for pattern in 0u32..(1 << queries.len()) {
+        let positive: Vec<bool> =
+            (0..queries.len()).map(|i| pattern & (1 << i) != 0).collect();
+        if let Some(g) = generate_selective_instance(queries, &positive, cfg)? {
+            out.insert(pattern, g);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_drc::parse_query;
+    use cqi_schema::{DomainType, Schema};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "Serves",
+                    &[
+                        ("bar", DomainType::Text),
+                        ("beer", DomainType::Text),
+                        ("price", DomainType::Real),
+                    ],
+                )
+                .relation(
+                    "Likes",
+                    &[("drinker", DomainType::Text), ("beer", DomainType::Text)],
+                )
+                .same_domain(("Serves", "beer"), ("Likes", "beer"))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::with_limit(8).timeout(Duration::from_secs(15))
+    }
+
+    #[test]
+    fn satisfy_one_but_not_the_other() {
+        let s = schema();
+        let q_likes = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        let q_served = parse_query(&s, "{ (b1) | exists x1, p1 (Serves(x1, b1, p1)) }").unwrap();
+        // Likes satisfied, Serves not.
+        let g = generate_selective_instance(&[&q_likes, &q_served], &[true, false], &cfg())
+            .unwrap()
+            .expect("achievable combination");
+        assert!(cqi_eval::satisfies(&q_likes, &g));
+        assert!(!cqi_eval::satisfies(&q_served, &g));
+        // The mirror combination.
+        let g2 = generate_selective_instance(&[&q_likes, &q_served], &[false, true], &cfg())
+            .unwrap()
+            .expect("achievable combination");
+        assert!(!cqi_eval::satisfies(&q_likes, &g2));
+        assert!(cqi_eval::satisfies(&q_served, &g2));
+    }
+
+    #[test]
+    fn contradictory_subset_yields_none() {
+        let s = schema();
+        let q = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        // q satisfied AND q not satisfied.
+        let got = generate_selective_instance(&[&q, &q], &[true, false], &cfg()).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn test_matrix_enumerates_achievable_patterns() {
+        let s = schema();
+        let q_likes = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        let q_cheap = parse_query(
+            &s,
+            "{ (b1) | exists x1, p1 (Serves(x1, b1, p1) and p1 < 2.0) }",
+        )
+        .unwrap();
+        let matrix = generate_test_matrix(&[&q_likes, &q_cheap], &cfg()).unwrap();
+        // All four patterns are achievable for these independent queries.
+        assert_eq!(matrix.len(), 4, "{:?}", matrix.keys().collect::<Vec<_>>());
+        for (pattern, g) in &matrix {
+            assert_eq!(cqi_eval::satisfies(&q_likes, g), pattern & 1 != 0);
+            assert_eq!(cqi_eval::satisfies(&q_cheap, g), pattern & 2 != 0);
+        }
+    }
+}

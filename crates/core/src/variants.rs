@@ -1,0 +1,275 @@
+//! The six algorithm variants of §5 and the shared finalization pipeline
+//! (original-tree validation → coverage → minimality post-processing).
+
+use cqi_drc::{Atom, Coverage, Formula, SyntaxTree, Term};
+use cqi_instance::CInstance;
+use cqi_solver::Ent;
+
+use crate::chase::{materialize, Chase};
+use crate::config::{ChaseConfig, Variant};
+use crate::conjtree::conjunctive_trees;
+use crate::cover::coverage_of_cinstance_keys;
+use crate::solution::{minimize, CSolution};
+use crate::treesat::{Hom, SatCtx};
+
+/// Runs one variant on a query's syntax tree and returns its minimal
+/// c-solution.
+pub fn run_variant(tree: &SyntaxTree, variant: Variant, cfg: &ChaseConfig) -> CSolution {
+    let q = tree.query();
+    let universal_fresh = cfg
+        .universal_fresh_nulls
+        .unwrap_or_else(|| variant.universal_fresh_nulls());
+    let mut chase = Chase::new(q, cfg, universal_fresh);
+    let formulas: Vec<Formula> = if variant.is_conjunctive() {
+        conjunctive_trees(&q.formula)
+    } else {
+        vec![q.formula.clone()]
+    };
+    let empty_h: Hom = vec![None; q.vars.len()];
+    for f in &formulas {
+        if chase.timed_out {
+            break;
+        }
+        chase.run_root(f, CInstance::new(q.schema.clone()), empty_h.clone());
+    }
+
+    if variant.is_add() && !chase.timed_out {
+        // Which original leaves are still uncovered by any accepted
+        // instance?
+        let mut covered = Coverage::new();
+        let snapshot: Vec<CInstance> =
+            chase.accepted.iter().map(|(i, _)| i.clone()).collect();
+        for inst in &snapshot {
+            covered.extend(coverage_of_cinstance_keys(q, inst, cfg.enforce_keys));
+        }
+        for (leaf_id, atom) in tree.leaves() {
+            if covered.contains(&leaf_id) || chase.timed_out {
+                continue;
+            }
+            let Some((seed, h0)) = seed_for_leaf(q, atom) else {
+                continue;
+            };
+            for f in &formulas {
+                if chase.timed_out {
+                    break;
+                }
+                chase.run_root(f, seed.clone(), h0.clone());
+            }
+        }
+    }
+
+    finalize(tree, chase)
+}
+
+/// Iterative deepening (§4.3 "another alternative, aimed at an interactive
+/// experience, is to set a timeout parameter instead of the limit"): runs
+/// the variant with growing `limit` until the wall-clock budget is
+/// exhausted, returning the deepest completed solution (or the last partial
+/// one if even the first level timed out).
+pub fn run_variant_deepening(
+    tree: &SyntaxTree,
+    variant: Variant,
+    base: &ChaseConfig,
+    start_limit: usize,
+    step: usize,
+) -> (CSolution, usize) {
+    let budget = base.timeout.unwrap_or(std::time::Duration::from_secs(10));
+    let start = std::time::Instant::now();
+    let mut limit = start_limit;
+    let mut best: Option<(CSolution, usize)> = None;
+    loop {
+        let remaining = budget.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            break;
+        }
+        let mut cfg = base.clone();
+        cfg.limit = limit;
+        cfg.timeout = Some(remaining);
+        let sol = run_variant(tree, variant, &cfg);
+        let finished = !sol.timed_out;
+        let better = match &best {
+            None => true,
+            Some((b, _)) => sol.num_coverages() >= b.num_coverages(),
+        };
+        if better {
+            best = Some((sol, limit));
+        }
+        if !finished {
+            break; // deeper levels would only see a smaller budget
+        }
+        limit += step;
+    }
+    best.expect("at least one level runs")
+}
+
+/// Builds the initial c-instance for an `*-Add` re-seed: the uncovered leaf
+/// atom is materialized over fresh labeled nulls, and output variables
+/// occurring in it are pre-bound in the homomorphism.
+fn seed_for_leaf(
+    q: &cqi_drc::Query,
+    atom: &Atom,
+) -> Option<(CInstance, Hom)> {
+    let mut inst = CInstance::new(q.schema.clone());
+    let mut h: Hom = vec![None; q.vars.len()];
+    // Fresh nulls for every variable of the atom.
+    for v in atom.vars() {
+        if h[v.index()].is_none() {
+            let n = inst.fresh_null(q.var_name(v), q.var_domain(v));
+            h[v.index()] = Some(Ent::Null(n));
+        }
+    }
+    let seeded = materialize(q, &inst, std::slice::from_ref(atom), &h)?;
+    // Keep bindings only for output variables; quantified variables are
+    // re-bound by the chase (their nulls stay available in the pools).
+    let mut h0: Hom = vec![None; q.vars.len()];
+    for v in &q.out_vars {
+        if let Term::Var(_) = Term::Var(*v) {
+            if atom.vars().contains(v) {
+                h0[v.index()] = h[v.index()].clone();
+            }
+        }
+    }
+    Some((seeded, h0))
+}
+
+/// Validates accepted instances against the *original* tree, computes
+/// coverage, and minimizes per coverage.
+fn finalize(tree: &SyntaxTree, chase: Chase<'_>) -> CSolution {
+    let q = tree.query();
+    let raw_accepted = chase.accepted.len();
+    let total_time = chase.start.elapsed();
+    let mut entries = Vec::with_capacity(raw_accepted);
+    let enforce_keys = chase.cfg.enforce_keys;
+    for (inst, t) in chase.accepted {
+        // Conjunctive trees only imply the original; re-check (soundness).
+        let ctx = SatCtx::new(q, &inst, enforce_keys);
+        if !ctx.tree_sat(&q.formula, &vec![None; q.vars.len()]) {
+            continue;
+        }
+        drop(ctx);
+        // An empty coverage is legitimate for vacuously satisfied queries
+        // (e.g. a Boolean ∀-only query on the empty instance).
+        let coverage = coverage_of_cinstance_keys(q, &inst, enforce_keys);
+        entries.push((inst, coverage, t));
+    }
+    CSolution {
+        instances: minimize(entries),
+        raw_accepted,
+        timed_out: chase.timed_out,
+        total_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_drc::parse_query;
+    use cqi_instance::consistency::is_consistent;
+    use cqi_schema::{DomainType, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "Serves",
+                    &[
+                        ("bar", DomainType::Text),
+                        ("beer", DomainType::Text),
+                        ("price", DomainType::Real),
+                    ],
+                )
+                .relation(
+                    "Likes",
+                    &[("drinker", DomainType::Text), ("beer", DomainType::Text)],
+                )
+                .same_domain(("Serves", "beer"), ("Likes", "beer"))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn tree(src: &str) -> SyntaxTree {
+        SyntaxTree::new(parse_query(&schema(), src).unwrap())
+    }
+
+    #[test]
+    fn all_variants_solve_simple_query() {
+        let t = tree("{ (b1) | exists d1 (Likes(d1, b1)) }");
+        for v in Variant::ALL {
+            let sol = run_variant(&t, v, &ChaseConfig::with_limit(4));
+            assert!(!sol.instances.is_empty(), "{v} found nothing");
+            for si in &sol.instances {
+                assert!(is_consistent(&si.inst, false));
+                assert!(crate::treesat::tree_sat(t.query(), &si.inst));
+            }
+        }
+    }
+
+    #[test]
+    fn disjunction_yields_multiple_coverages() {
+        let t = tree(
+            "{ (x1) | exists b1, p1 (Serves(x1, b1, p1) and (p1 > 3.0 or p1 < 1.0)) }",
+        );
+        let sol = run_variant(&t, Variant::DisjEO, &ChaseConfig::with_limit(6));
+        // At least the >3-only and <1-only coverages.
+        assert!(sol.num_coverages() >= 2, "got {}", sol.num_coverages());
+    }
+
+    #[test]
+    fn add_variant_reaches_vacuous_forall_leaves() {
+        // ∀d1 (¬Likes(d1, b1)) is vacuously satisfied with an empty drinker
+        // pool, so the plain chase never covers the ¬Likes leaf; the Add
+        // seeding materializes it.
+        let t = tree(
+            "{ (b1) | exists x1, p1 (Serves(x1, b1, p1)) and forall d1 (not Likes(d1, b1)) }",
+        );
+        let cfg = ChaseConfig::with_limit(6);
+        let eo = run_variant(&t, Variant::DisjEO, &cfg);
+        let add = run_variant(&t, Variant::DisjAdd, &cfg);
+        assert!(add.covered_union().len() > eo.covered_union().len());
+        assert_eq!(add.covered_union().len(), 2, "both leaves covered by Add");
+        assert!(add.instances.iter().any(|si| si
+            .inst
+            .global
+            .iter()
+            .any(|c| matches!(c, cqi_instance::Cond::NotIn { .. }))));
+    }
+
+    #[test]
+    fn add_variant_covers_at_least_eo() {
+        let t = tree(
+            "{ (x1, b1) | exists p1 . Serves(x1, b1, p1) and forall p2, x2 (not Serves(x2, b1, p2) or p2 <= p1) }",
+        );
+        let cfg = ChaseConfig::with_limit(8);
+        let eo = run_variant(&t, Variant::ConjEO, &cfg);
+        let add = run_variant(&t, Variant::ConjAdd, &cfg);
+        assert!(add.covered_union().len() >= eo.covered_union().len());
+        assert!(!add.instances.is_empty());
+    }
+
+    #[test]
+    fn minimality_within_coverage() {
+        let t = tree("{ (b1) | exists d1 (Likes(d1, b1)) }");
+        let sol = run_variant(&t, Variant::DisjNaive, &ChaseConfig::with_limit(4));
+        // The single-coverage solution must be the 1-tuple instance.
+        for si in &sol.instances {
+            if si.coverage.len() == 1 {
+                assert_eq!(si.size(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn conj_and_disj_agree_on_or_free_query() {
+        let t = tree(
+            "{ (x1, b1) | exists p1, x2, p2 . Serves(x1, b1, p1) and Serves(x2, b1, p2) and p1 > p2 }",
+        );
+        let cfg = ChaseConfig::with_limit(6);
+        let disj = run_variant(&t, Variant::DisjEO, &cfg);
+        let conj = run_variant(&t, Variant::ConjEO, &cfg);
+        let dc: std::collections::BTreeSet<_> = disj.coverages().cloned().collect();
+        let cc: std::collections::BTreeSet<_> = conj.coverages().cloned().collect();
+        assert_eq!(dc, cc, "∨-free trees make the variants identical");
+    }
+}

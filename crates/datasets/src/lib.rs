@@ -1,0 +1,72 @@
+//! # cqi-datasets
+//!
+//! The paper's two experiment workloads, transcribed from its appendix:
+//!
+//! * **Beers** (Table 4): 5 standard queries, 10 wrong student queries, and
+//!   the 20 difference queries between each wrong query and its standard —
+//!   35 in total, plus the running example's ground counterexample `K0`
+//!   (Fig. 1) and the user-study queries (Table 3).
+//! * **TPC-H** (Table 5): Q4/Q16/Q19/Q21 with aggregates dropped, two wrong
+//!   variants each, and the 16 difference queries — 28 in total.
+//!
+//! Each entry records the paper's published complexity metrics alongside,
+//! so the Table 1 reproduction can report paper-vs-ours side by side.
+
+pub mod beers;
+pub mod stats;
+pub mod tpch;
+
+pub use beers::{beers_k0, beers_queries, beers_schema, user_study_queries};
+pub use stats::{dataset_stats, DatasetStats};
+pub use tpch::{tpch_queries, tpch_schema};
+
+use cqi_drc::Query;
+
+/// Classification of a dataset query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A standard (correct) solution query.
+    Correct,
+    /// A wrong student/derived query.
+    Wrong,
+    /// A difference `correct − wrong` or `wrong − correct`.
+    Difference,
+}
+
+/// Complexity metrics as published in Tables 4/5 (the paper's own
+/// representation; our [`cqi_drc::Metrics`] uses a slightly different node
+/// accounting — both are reported by the harness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PaperMetrics {
+    pub size: usize,
+    pub height: usize,
+    pub quantifiers: usize,
+    pub ors: usize,
+    pub or_below_forall_plus_forall: usize,
+}
+
+/// One workload query.
+#[derive(Clone, Debug)]
+pub struct DatasetQuery {
+    pub name: String,
+    pub kind: QueryKind,
+    pub query: Query,
+    pub paper: PaperMetrics,
+}
+
+impl DatasetQuery {
+    pub fn new(name: &str, kind: QueryKind, query: Query, paper: [usize; 5]) -> DatasetQuery {
+        DatasetQuery {
+            name: name.to_owned(),
+            kind,
+            query: query.with_label(name),
+            paper: PaperMetrics {
+                size: paper[0],
+                height: paper[1],
+                quantifiers: paper[2],
+                ors: paper[3],
+                or_below_forall_plus_forall: paper[4],
+            },
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # cqi-eval
+//!
+//! Evaluation of DRC queries over *ground* instances with active-domain
+//! semantics, and the coverage of ground instances (Definition 7).
+//!
+//! Quantified variables range over the instance's active domain (restricted
+//! to the variable's unified attribute domain) plus the constants mentioned
+//! by the query — the standard finite semantics for safe/domain-independent
+//! DRC queries (§3.1 assumption (2)).
+//!
+//! This crate is the ground-truth oracle for the chase: soundness tests
+//! sample possible worlds of returned c-instances and re-evaluate queries
+//! here.
+
+pub mod coverage;
+pub mod eval;
+
+pub use coverage::{coverage_of_ground, coverage_under_assignment};
+pub use eval::{evaluate, satisfies, satisfying_assignments};

@@ -1,0 +1,360 @@
+//! Conditional instances (c-instances), Definition 3.
+
+use std::sync::Arc;
+
+use cqi_schema::{DomainId, DomainType, RelId, Schema, Value};
+use cqi_solver::{Ent, Lit, NullId};
+
+/// Metadata for one labeled null of a c-instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NullInfo {
+    /// Display name (usually inherited from the query variable that created
+    /// it, e.g. `d1`); don't-care nulls render as `∗`.
+    pub name: String,
+    pub domain: DomainId,
+    pub ty: DomainType,
+    /// A "don't care" null (`∗` of Definition 3): it never participates in
+    /// the global condition or joins, and is excluded from the quantifier
+    /// domain pools.
+    pub dont_care: bool,
+}
+
+/// One atomic condition of a global condition (§3.2): either a (possibly
+/// negated) comparison/LIKE literal, or a negated relational atom
+/// `¬R(e₁..e_k)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Lit(Lit),
+    NotIn { rel: RelId, tuple: Vec<Ent> },
+}
+
+/// A conditional instance: one v-table per relation plus the global
+/// condition, plus bookkeeping the chase needs (null registry and per-domain
+/// entity pools).
+#[derive(Clone, Debug)]
+pub struct CInstance {
+    pub schema: Arc<Schema>,
+    /// `tables[rel][row][col]`; rows are deduplicated, insertion-ordered.
+    pub tables: Vec<Vec<Vec<Ent>>>,
+    /// Conjunction of atomic conditions.
+    pub global: Vec<Cond>,
+    pub nulls: Vec<NullInfo>,
+    /// `domains[d]` — the entities "in the domain" of `d`, i.e. the pool a
+    /// quantified variable of that domain may be mapped to (Algorithm 5/6).
+    /// Don't-care nulls are excluded.
+    domains: Vec<Vec<Ent>>,
+}
+
+impl CInstance {
+    pub fn new(schema: Arc<Schema>) -> CInstance {
+        let nrel = schema.relations().len();
+        let ndom = schema.num_domains();
+        CInstance {
+            schema,
+            tables: vec![Vec::new(); nrel],
+            global: Vec::new(),
+            nulls: Vec::new(),
+            domains: vec![Vec::new(); ndom],
+        }
+    }
+
+    /// Total number of tuples plus atomic conditions — the paper's `|I|`
+    /// (Definition 9; e.g. `|I0| = 12` in Fig. 4).
+    pub fn size(&self) -> usize {
+        self.num_tuples() + self.global.len()
+    }
+
+    pub fn num_tuples(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
+    }
+
+    pub fn num_nulls(&self) -> usize {
+        self.nulls.len()
+    }
+
+    pub fn null_types(&self) -> Vec<DomainType> {
+        self.nulls.iter().map(|n| n.ty).collect()
+    }
+
+    pub fn null_info(&self, n: NullId) -> &NullInfo {
+        &self.nulls[n.index()]
+    }
+
+    /// Creates a fresh labeled null in domain `d` and adds it to the pool.
+    /// Display names are made unique by priming (`p1`, `p1'`, `p1''`, ...).
+    pub fn fresh_null(&mut self, name: impl Into<String>, d: DomainId) -> NullId {
+        let mut name = name.into();
+        while self.nulls.iter().any(|n| n.name == name) {
+            name.push('\'');
+        }
+        let id = NullId(self.nulls.len() as u32);
+        self.nulls.push(NullInfo {
+            name,
+            domain: d,
+            ty: self.schema.domain_type(d),
+            dont_care: false,
+        });
+        self.domains[d.index()].push(Ent::Null(id));
+        id
+    }
+
+    /// Creates a don't-care null (rendered `∗`, excluded from pools).
+    pub fn fresh_dont_care(&mut self, d: DomainId) -> NullId {
+        let id = NullId(self.nulls.len() as u32);
+        self.nulls.push(NullInfo {
+            name: "*".to_owned(),
+            domain: d,
+            ty: self.schema.domain_type(d),
+            dont_care: true,
+        });
+        id
+    }
+
+    /// The entity pool of domain `d`.
+    pub fn domain_pool(&self, d: DomainId) -> &[Ent] {
+        &self.domains[d.index()]
+    }
+
+    /// Registers a constant as a member of domain `d`'s pool (constants
+    /// mentioned by the query participate in quantifier iteration).
+    pub fn add_const_to_domain(&mut self, d: DomainId, v: Value) {
+        let e = Ent::Const(v);
+        let pool = &mut self.domains[d.index()];
+        if !pool.contains(&e) {
+            pool.push(e);
+        }
+    }
+
+    /// Adds a tuple to `rel` (deduplicated), then repairs foreign keys by
+    /// inserting missing parent tuples with don't-care padding — this is
+    /// how Fig. 4's `Drinker`/`Beer`/`Bar` rows arise. Returns whether the
+    /// primary tuple was new.
+    pub fn add_tuple(&mut self, rel: RelId, tuple: Vec<Ent>) -> bool {
+        debug_assert_eq!(tuple.len(), self.schema.relation(rel).arity());
+        if self.tables[rel.index()].contains(&tuple) {
+            return false;
+        }
+        self.tables[rel.index()].push(tuple.clone());
+        self.repair_foreign_keys(rel, &tuple);
+        true
+    }
+
+    fn repair_foreign_keys(&mut self, rel: RelId, tuple: &[Ent]) {
+        let fks: Vec<_> = self
+            .schema
+            .foreign_keys()
+            .iter()
+            .filter(|fk| fk.child == rel)
+            .cloned()
+            .collect();
+        for fk in fks {
+            let parent_rel = fk.parent;
+            let arity = self.schema.relation(parent_rel).arity();
+            // Does a parent row with the referenced entities already exist?
+            let exists = self.tables[parent_rel.index()].iter().any(|row| {
+                fk.child_attrs
+                    .iter()
+                    .zip(&fk.parent_attrs)
+                    .all(|(ca, pa)| row[*pa] == tuple[*ca])
+            });
+            if exists {
+                continue;
+            }
+            let mut parent_row: Vec<Option<Ent>> = vec![None; arity];
+            for (ca, pa) in fk.child_attrs.iter().zip(&fk.parent_attrs) {
+                parent_row[*pa] = Some(tuple[*ca].clone());
+            }
+            let row: Vec<Ent> = parent_row
+                .into_iter()
+                .enumerate()
+                .map(|(col, cell)| match cell {
+                    Some(e) => e,
+                    None => {
+                        let d = self.schema.attr_domain(parent_rel, col);
+                        Ent::Null(self.fresh_dont_care(d))
+                    }
+                })
+                .collect();
+            // Recursive: the parent row may itself have FKs.
+            self.add_tuple(parent_rel, row);
+        }
+    }
+
+    /// Adds an atomic condition to the global condition. Deduplication
+    /// treats don't-care nulls as interchangeable, so two `¬R(x, *, *)`
+    /// conditions differing only in their padding nulls coincide.
+    pub fn add_cond(&mut self, cond: Cond) -> bool {
+        let duplicate = self.global.iter().any(|c| match (c, &cond) {
+            (Cond::NotIn { rel: r1, tuple: t1 }, Cond::NotIn { rel: r2, tuple: t2 }) => {
+                r1 == r2
+                    && t1.len() == t2.len()
+                    && t1.iter().zip(t2).all(|(a, b)| {
+                        a == b || (self.is_dont_care(a) && self.is_dont_care(b))
+                    })
+            }
+            (a, b) => a == b,
+        });
+        if duplicate {
+            return false;
+        }
+        self.global.push(cond);
+        true
+    }
+
+    /// Whether an entity is a don't-care labeled null.
+    pub fn is_dont_care(&self, e: &Ent) -> bool {
+        matches!(e, Ent::Null(n) if self.nulls[n.index()].dont_care)
+    }
+
+    /// Whether `rel` contains this exact tuple (syntactically).
+    pub fn has_tuple(&self, rel: RelId, tuple: &[Ent]) -> bool {
+        self.tables[rel.index()].iter().any(|r| r == tuple)
+    }
+
+    /// Iterates all `(rel, row)` pairs.
+    pub fn tuples(&self) -> impl Iterator<Item = (RelId, &Vec<Ent>)> {
+        self.tables.iter().enumerate().flat_map(|(ri, rows)| {
+            rows.iter().map(move |r| (RelId(ri as u32), r))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqi_schema::DomainType;
+    use cqi_solver::SolverOp;
+
+    pub(crate) fn beers_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation("Drinker", &[("name", DomainType::Text), ("addr", DomainType::Text)])
+                .relation("Beer", &[("name", DomainType::Text), ("brewer", DomainType::Text)])
+                .relation("Bar", &[("name", DomainType::Text), ("addr", DomainType::Text)])
+                .relation(
+                    "Serves",
+                    &[
+                        ("bar", DomainType::Text),
+                        ("beer", DomainType::Text),
+                        ("price", DomainType::Real),
+                    ],
+                )
+                .relation(
+                    "Likes",
+                    &[("drinker", DomainType::Text), ("beer", DomainType::Text)],
+                )
+                .foreign_key("Serves", &["bar"], "Bar", &["name"])
+                .foreign_key("Serves", &["beer"], "Beer", &["name"])
+                .foreign_key("Likes", &["drinker"], "Drinker", &["name"])
+                .foreign_key("Likes", &["beer"], "Beer", &["name"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fk_repair_creates_parent_rows() {
+        let s = beers_schema();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let serves = s.rel_id("Serves").unwrap();
+        let bar_d = s.attr_domain(serves, 0);
+        let beer_d = s.attr_domain(serves, 1);
+        let price_d = s.attr_domain(serves, 2);
+        let x1 = inst.fresh_null("x1", bar_d);
+        let b1 = inst.fresh_null("b1", beer_d);
+        let p1 = inst.fresh_null("p1", price_d);
+        inst.add_tuple(serves, vec![x1.into(), b1.into(), p1.into()]);
+        // Serves row + repaired Bar and Beer rows.
+        assert_eq!(inst.num_tuples(), 3);
+        let bar = s.rel_id("Bar").unwrap();
+        assert_eq!(inst.tables[bar.index()].len(), 1);
+        assert_eq!(inst.tables[bar.index()][0][0], Ent::Null(x1));
+        // The padding is a don't-care null.
+        let pad = inst.tables[bar.index()][0][1].as_null().unwrap();
+        assert!(inst.null_info(pad).dont_care);
+    }
+
+    #[test]
+    fn fk_repair_is_idempotent() {
+        let s = beers_schema();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let serves = s.rel_id("Serves").unwrap();
+        let (bd, ed, pd) = (
+            s.attr_domain(serves, 0),
+            s.attr_domain(serves, 1),
+            s.attr_domain(serves, 2),
+        );
+        let x1 = inst.fresh_null("x1", bd);
+        let b1 = inst.fresh_null("b1", ed);
+        let p1 = inst.fresh_null("p1", pd);
+        let p2 = inst.fresh_null("p2", pd);
+        inst.add_tuple(serves, vec![x1.into(), b1.into(), p1.into()]);
+        let n = inst.num_tuples();
+        // Same bar/beer, new price: no new parents.
+        inst.add_tuple(serves, vec![x1.into(), b1.into(), p2.into()]);
+        assert_eq!(inst.num_tuples(), n + 1);
+        // Exact duplicate: nothing.
+        assert!(!inst.add_tuple(serves, vec![x1.into(), b1.into(), p2.into()]));
+        assert_eq!(inst.num_tuples(), n + 1);
+    }
+
+    #[test]
+    fn size_counts_tuples_and_conditions() {
+        let s = beers_schema();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let likes = s.rel_id("Likes").unwrap();
+        let d = inst.fresh_null("d1", s.attr_domain(likes, 0));
+        let b = inst.fresh_null("b1", s.attr_domain(likes, 1));
+        inst.add_tuple(likes, vec![d.into(), b.into()]);
+        inst.add_cond(Cond::Lit(Lit::like(d, "Eve%")));
+        // Likes + repaired Drinker + Beer = 3 tuples, 1 condition.
+        assert_eq!(inst.size(), 4);
+        // Duplicate condition not counted twice.
+        assert!(!inst.add_cond(Cond::Lit(Lit::like(d, "Eve%"))));
+        assert_eq!(inst.size(), 4);
+    }
+
+    #[test]
+    fn domain_pools_exclude_dont_cares() {
+        let s = beers_schema();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let serves = s.rel_id("Serves").unwrap();
+        let pd = s.attr_domain(serves, 2);
+        let p1 = inst.fresh_null("p1", pd);
+        let _dc = inst.fresh_dont_care(pd);
+        inst.add_const_to_domain(pd, Value::real(2.25));
+        inst.add_const_to_domain(pd, Value::real(2.25));
+        let pool = inst.domain_pool(pd);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.contains(&Ent::Null(p1)));
+        assert!(pool.contains(&Ent::Const(Value::real(2.25))));
+    }
+
+    #[test]
+    fn not_in_condition_dedup() {
+        let s = beers_schema();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let likes = s.rel_id("Likes").unwrap();
+        let d = inst.fresh_null("d2", s.attr_domain(likes, 0));
+        let b = inst.fresh_null("b1", s.attr_domain(likes, 1));
+        let c = Cond::NotIn {
+            rel: likes,
+            tuple: vec![d.into(), b.into()],
+        };
+        assert!(inst.add_cond(c.clone()));
+        assert!(!inst.add_cond(c));
+        assert_eq!(inst.global.len(), 1);
+    }
+
+    #[test]
+    fn cmp_cond_with_op() {
+        let s = beers_schema();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let serves = s.rel_id("Serves").unwrap();
+        let pd = s.attr_domain(serves, 2);
+        let p1 = inst.fresh_null("p1", pd);
+        let p2 = inst.fresh_null("p2", pd);
+        inst.add_cond(Cond::Lit(Lit::cmp(p1, SolverOp::Gt, p2)));
+        assert_eq!(inst.size(), 1);
+    }
+}

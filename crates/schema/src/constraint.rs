@@ -1,0 +1,47 @@
+//! Integrity constraints: keys and foreign keys (§3.1 allows "standard
+//! constraints like key constraints, foreign key constraints").
+
+use crate::relation::RelId;
+
+/// A key constraint: the listed attribute positions functionally determine
+/// the whole tuple. A primary key is just a `Key`; additional `Key`s model
+/// unique constraints / FDs whose left side is a key of the relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Key {
+    pub rel: RelId,
+    pub attrs: Vec<usize>,
+}
+
+/// A foreign key: `child.child_attrs ⟶ parent.parent_attrs`.
+///
+/// Besides its integrity semantics, an FK unifies the attribute domains on
+/// both sides, so that a labeled null flowing through the child column may be
+/// joined against the parent column in a c-instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub child: RelId,
+    pub child_attrs: Vec<usize>,
+    pub parent: RelId,
+    pub parent_attrs: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs() {
+        let k = Key {
+            rel: RelId(0),
+            attrs: vec![0],
+        };
+        assert_eq!(k.attrs, vec![0]);
+        let fk = ForeignKey {
+            child: RelId(1),
+            child_attrs: vec![0],
+            parent: RelId(0),
+            parent_attrs: vec![0],
+        };
+        assert_eq!(fk.parent, RelId(0));
+    }
+}

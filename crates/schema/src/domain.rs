@@ -1,0 +1,66 @@
+//! Attribute domains.
+//!
+//! Each attribute draws its constants from a (possibly infinite) domain
+//! `Dom(A)` (§3.1). Structurally a domain has a [`DomainType`] (the kind of
+//! constants) and an identity [`DomainId`]; attributes linked by foreign keys
+//! share one `DomainId` so that query variables ranging over them can be
+//! mapped to the same pool of labeled nulls.
+
+use std::fmt;
+
+/// The kind of constants a domain carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DomainType {
+    /// 64-bit integers (discrete order — `x < y < x+1` is unsatisfiable).
+    Int,
+    /// Reals/decimals (dense order).
+    Real,
+    /// Strings (dense-above lexicographic order, supports `LIKE`).
+    Text,
+}
+
+impl fmt::Display for DomainType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainType::Int => write!(f, "int"),
+            DomainType::Real => write!(f, "real"),
+            DomainType::Text => write!(f, "text"),
+        }
+    }
+}
+
+/// Identity of a unified attribute domain within one [`crate::Schema`].
+///
+/// Two attributes with the same `DomainId` are "the same domain" in the
+/// paper's sense: a labeled null created for one may flow into the other.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_domain_type() {
+        assert_eq!(DomainType::Int.to_string(), "int");
+        assert_eq!(DomainType::Real.to_string(), "real");
+        assert_eq!(DomainType::Text.to_string(), "text");
+    }
+
+    #[test]
+    fn domain_id_index() {
+        assert_eq!(DomainId(7).index(), 7);
+    }
+}

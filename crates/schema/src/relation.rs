@@ -1,0 +1,97 @@
+//! Relation schemas.
+
+use std::fmt;
+
+use crate::domain::{DomainId, DomainType};
+
+/// Index of a relation within a [`crate::Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+/// Position of an attribute within its relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One attribute of a relation schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub domain_type: DomainType,
+    /// Assigned by the [`crate::SchemaBuilder`] after domain unification.
+    pub domain: DomainId,
+}
+
+/// A relation schema `R(A1, ..., Ak)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    pub name: String,
+    pub attrs: Vec<Attribute>,
+}
+
+impl Relation {
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Looks up an attribute position by (case-insensitive) name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation {
+            name: "Serves".into(),
+            attrs: vec![
+                Attribute {
+                    name: "bar".into(),
+                    domain_type: DomainType::Text,
+                    domain: DomainId(0),
+                },
+                Attribute {
+                    name: "beer".into(),
+                    domain_type: DomainType::Text,
+                    domain: DomainId(1),
+                },
+                Attribute {
+                    name: "price".into(),
+                    domain_type: DomainType::Real,
+                    domain: DomainId(2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn arity_and_lookup() {
+        let r = sample();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.attr_index("price"), Some(2));
+        assert_eq!(r.attr_index("PRICE"), Some(2));
+        assert_eq!(r.attr_index("missing"), None);
+    }
+}

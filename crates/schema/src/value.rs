@@ -1,0 +1,218 @@
+//! Constant values and a totally ordered floating-point wrapper.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::domain::DomainType;
+
+/// A finite, non-NaN `f64` with a total order, usable as a map key.
+///
+/// Query constants and generated models never need NaN or infinities, so the
+/// constructor rejects them; this keeps `Ord`/`Hash` honest.
+#[derive(Clone, Copy, PartialEq)]
+pub struct R64(f64);
+
+impl R64 {
+    /// Wraps a finite float. Panics on NaN/infinite input — such values never
+    /// arise from parsing or model generation, so a panic indicates a bug.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite(), "R64 requires a finite float, got {v}");
+        R64(v)
+    }
+
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for R64 {}
+
+impl PartialOrd for R64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for R64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite floats always compare.
+        self.0.partial_cmp(&other.0).expect("R64 is always finite")
+    }
+}
+
+impl std::hash::Hash for R64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // -0.0 == 0.0 must hash identically.
+        let canonical = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        canonical.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for R64 {
+    fn from(v: f64) -> Self {
+        R64::new(v)
+    }
+}
+
+/// A constant from an attribute domain (§3.1: `Dom`).
+///
+/// The ordering is only meaningful within one [`DomainType`]; the derived
+/// cross-variant order (Int < Real < Str) is used solely to make collections
+/// deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    Int(i64),
+    Real(R64),
+    Str(String),
+}
+
+impl Value {
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    pub fn real(v: f64) -> Self {
+        Value::Real(R64::new(v))
+    }
+
+    /// The domain type this constant belongs to.
+    pub fn domain_type(&self) -> DomainType {
+        match self {
+            Value::Int(_) => DomainType::Int,
+            Value::Real(_) => DomainType::Real,
+            Value::Str(_) => DomainType::Text,
+        }
+    }
+
+    /// Compares two values of the same domain type.
+    ///
+    /// Int and Real compare numerically against each other (a price constant
+    /// `2.25` must compare with an integer `3`); strings compare
+    /// lexicographically. Returns `None` when kinds are incomparable
+    /// (number vs string), which callers treat as a type error.
+    pub fn try_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Real(a), Value::Real(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Real(b)) => (*a as f64).partial_cmp(&b.get()),
+            (Value::Real(a), Value::Int(b)) => a.get().partial_cmp(&(*b as f64)),
+            _ => None,
+        }
+    }
+
+    /// Numeric view for order reasoning (`None` for strings).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(r.get()),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn r64_total_order() {
+        let a = R64::new(1.5);
+        let b = R64::new(2.25);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn r64_negative_zero_hashes_like_zero() {
+        assert_eq!(R64::new(0.0), R64::new(-0.0));
+        assert_eq!(hash_of(&R64::new(0.0)), hash_of(&R64::new(-0.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn r64_rejects_nan() {
+        let _ = R64::new(f64::NAN);
+    }
+
+    #[test]
+    fn value_cross_numeric_compare() {
+        assert_eq!(
+            Value::Int(2).try_cmp(&Value::real(2.25)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::real(3.5).try_cmp(&Value::Int(3)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(2).try_cmp(&Value::str("x")), None);
+    }
+
+    #[test]
+    fn value_domain_types() {
+        assert_eq!(Value::Int(1).domain_type(), DomainType::Int);
+        assert_eq!(Value::real(1.0).domain_type(), DomainType::Real);
+        assert_eq!(Value::str("a").domain_type(), DomainType::Text);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("Eve").to_string(), "'Eve'");
+        assert_eq!(Value::real(2.25).to_string(), "2.25");
+    }
+}

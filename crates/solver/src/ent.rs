@@ -1,0 +1,91 @@
+//! Entities: labeled nulls and constants.
+
+use std::fmt;
+
+use cqi_schema::Value;
+
+/// A labeled null (the paper's `L`, called *marked nulls* in Imieliński &
+/// Lipski). Dense index into a c-instance's null table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NullId(pub u32);
+
+impl NullId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A term in a condition or v-table cell: a labeled null or a constant.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ent {
+    Null(NullId),
+    Const(Value),
+}
+
+impl Ent {
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Ent::Null(n) => Some(*n),
+            Ent::Const(_) => None,
+        }
+    }
+
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Ent::Null(_) => None,
+            Ent::Const(v) => Some(v),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Ent::Null(_))
+    }
+}
+
+impl fmt::Debug for Ent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ent::Null(n) => write!(f, "{n:?}"),
+            Ent::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<NullId> for Ent {
+    fn from(n: NullId) -> Ent {
+        Ent::Null(n)
+    }
+}
+
+impl From<Value> for Ent {
+    fn from(v: Value) -> Ent {
+        Ent::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let n = Ent::Null(NullId(3));
+        assert_eq!(n.as_null(), Some(NullId(3)));
+        assert!(n.is_null());
+        let c = Ent::Const(Value::Int(5));
+        assert_eq!(c.as_const(), Some(&Value::Int(5)));
+        assert!(!c.is_null());
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Ent::Null(NullId(1))), "n1");
+        assert_eq!(format!("{:?}", Ent::Const(Value::str("a"))), "'a'");
+    }
+}

@@ -1,0 +1,421 @@
+//! The conjunction decider: equality saturation (union-find) feeding the
+//! numeric [`crate::order`] and text [`crate::strings`] engines.
+
+use std::collections::HashMap;
+
+use cqi_schema::{DomainType, Value};
+
+use crate::cond::{Lit, SolverOp};
+use crate::ent::Ent;
+use crate::model::Model;
+use crate::order::{OrderEdge, OrderProblem};
+use crate::strings::{solve_text, TextProblem};
+use crate::unionfind::UnionFind;
+
+/// The coarse kind of a node/class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Num,
+    Text,
+}
+
+fn kind_of_type(t: DomainType) -> Kind {
+    match t {
+        DomainType::Int | DomainType::Real => Kind::Num,
+        DomainType::Text => Kind::Text,
+    }
+}
+
+/// Decides a pure conjunction of literals; returns a model on success.
+///
+/// `types[n]` gives each null's domain type. Type-mismatched comparisons
+/// (number vs text) are unsatisfiable rather than errors: they can arise
+/// transiently inside DPLL branches.
+pub fn check_conj(types: &[DomainType], lits: &[Lit]) -> Option<Model> {
+    // ---- 1. intern nodes: nulls 0..n, constants appended.
+    let n = types.len();
+    let mut const_nodes: HashMap<Value, usize> = HashMap::new();
+    let mut node_const: Vec<Option<Value>> = vec![None; n];
+    let mut node_kind: Vec<Kind> = types.iter().map(|t| kind_of_type(*t)).collect();
+    let mut node_int: Vec<bool> = types.iter().map(|t| *t == DomainType::Int).collect();
+    let mut uf = UnionFind::new(n);
+    let mut intern = |e: &Ent,
+                      uf: &mut UnionFind,
+                      node_const: &mut Vec<Option<Value>>,
+                      node_kind: &mut Vec<Kind>,
+                      node_int: &mut Vec<bool>|
+     -> usize {
+        match e {
+            Ent::Null(id) => id.index(),
+            Ent::Const(v) => *const_nodes.entry(v.clone()).or_insert_with(|| {
+                let idx = uf.push();
+                node_const.push(Some(v.clone()));
+                node_kind.push(kind_of_type(v.domain_type()));
+                node_int.push(false); // a constant does not force integrality
+                idx
+            }),
+        }
+    };
+
+    // ---- 2. canonicalize literals into node-level constraints.
+    // (a, b, strict) meaning a < b or a ≤ b.
+    let mut lt_edges: Vec<(usize, usize, bool)> = Vec::new();
+    let mut eqs: Vec<(usize, usize)> = Vec::new();
+    let mut neqs: Vec<(usize, usize)> = Vec::new();
+    let mut likes: Vec<(usize, bool, String)> = Vec::new();
+
+    for lit in lits {
+        match lit {
+            Lit::Cmp { lhs, op, rhs } => {
+                // Constant folding.
+                if let (Ent::Const(a), Ent::Const(b)) = (lhs, rhs) {
+                    match op.eval(a, b) {
+                        Some(true) => continue,
+                        _ => return None, // false or incomparable types
+                    }
+                }
+                let a = intern(lhs, &mut uf, &mut node_const, &mut node_kind, &mut node_int);
+                let b = intern(rhs, &mut uf, &mut node_const, &mut node_kind, &mut node_int);
+                if node_kind[a] != node_kind[b] {
+                    return None; // comparing text with number
+                }
+                match op {
+                    SolverOp::Eq => eqs.push((a, b)),
+                    SolverOp::Ne => neqs.push((a, b)),
+                    SolverOp::Lt => lt_edges.push((a, b, true)),
+                    SolverOp::Le => lt_edges.push((a, b, false)),
+                    SolverOp::Gt => lt_edges.push((b, a, true)),
+                    SolverOp::Ge => lt_edges.push((b, a, false)),
+                }
+            }
+            Lit::Like { negated, ent, pattern } => match ent {
+                Ent::Const(v) => match v {
+                    Value::Str(s) => {
+                        if crate::nfa::like_match(pattern, s) == *negated {
+                            return None;
+                        }
+                    }
+                    _ => return None, // LIKE on a number
+                },
+                Ent::Null(_) => {
+                    let a =
+                        intern(ent, &mut uf, &mut node_const, &mut node_kind, &mut node_int);
+                    if node_kind[a] != Kind::Text {
+                        return None;
+                    }
+                    likes.push((a, *negated, pattern.clone()));
+                }
+            },
+        }
+    }
+
+    // ---- 3. equality saturation.
+    for (a, b) in eqs {
+        uf.union(a, b);
+    }
+
+    let total = uf.len();
+    let (class_of, num_classes) = uf.classes();
+
+    // Per-class attributes; detect clashes.
+    let mut class_pin: Vec<Option<Value>> = vec![None; num_classes];
+    let mut class_kind: Vec<Option<Kind>> = vec![None; num_classes];
+    let mut class_int: Vec<bool> = vec![false; num_classes];
+    for node in 0..total {
+        let c = class_of[node];
+        match class_kind[c] {
+            None => class_kind[c] = Some(node_kind[node]),
+            Some(k) if k != node_kind[node] => return None, // text = number
+            _ => {}
+        }
+        if node_int[node] {
+            class_int[c] = true;
+        }
+        if let Some(v) = &node_const[node] {
+            match &class_pin[c] {
+                None => class_pin[c] = Some(v.clone()),
+                Some(prev) => {
+                    // Two constants merged: equal is fine (same node by
+                    // interning), numerically-equal Int/Real also fine.
+                    if prev.try_cmp(v) != Some(std::cmp::Ordering::Equal) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    // Disequalities inside one class are immediately unsatisfiable.
+    for &(a, b) in &neqs {
+        if class_of[a] == class_of[b] {
+            return None;
+        }
+    }
+
+    // ---- 4. split classes into numeric and text subproblems.
+    let mut num_idx: Vec<Option<usize>> = vec![None; num_classes];
+    let mut text_idx: Vec<Option<usize>> = vec![None; num_classes];
+    let mut num_classes_list: Vec<usize> = Vec::new();
+    let mut text_classes_list: Vec<usize> = Vec::new();
+    for c in 0..num_classes {
+        match class_kind[c] {
+            Some(Kind::Num) | None => {
+                num_idx[c] = Some(num_classes_list.len());
+                num_classes_list.push(c);
+            }
+            Some(Kind::Text) => {
+                text_idx[c] = Some(text_classes_list.len());
+                text_classes_list.push(c);
+            }
+        }
+    }
+
+    let mut op_num = OrderProblem::new(num_classes_list.len());
+    for (i, &c) in num_classes_list.iter().enumerate() {
+        op_num.int_class[i] = class_int[c];
+        op_num.pinned[i] = class_pin[c].as_ref().and_then(|v| v.as_f64());
+    }
+    let mut op_text = TextProblem::new(text_classes_list.len());
+    for (i, &c) in text_classes_list.iter().enumerate() {
+        op_text.pinned[i] = class_pin[c].as_ref().and_then(|v| match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        });
+    }
+
+    for (a, b, strict) in lt_edges {
+        let (ca, cb) = (class_of[a], class_of[b]);
+        match (num_idx[ca], num_idx[cb]) {
+            (Some(i), Some(j)) => {
+                if strict && i == j {
+                    return None; // x < x
+                }
+                op_num.edges.push(OrderEdge { from: i, to: j, strict });
+            }
+            _ => match (text_idx[ca], text_idx[cb]) {
+                (Some(i), Some(j)) => {
+                    if strict && i == j {
+                        return None;
+                    }
+                    op_text.edges.push(OrderEdge { from: i, to: j, strict });
+                }
+                _ => return None, // mixed kinds (already guarded, defensive)
+            },
+        }
+    }
+    for (a, b) in neqs {
+        let (ca, cb) = (class_of[a], class_of[b]);
+        match (num_idx[ca], num_idx[cb]) {
+            (Some(i), Some(j)) => op_num.neqs.push((i, j)),
+            _ => {
+                if let (Some(i), Some(j)) = (text_idx[ca], text_idx[cb]) {
+                    op_text.neqs.push((i, j));
+                }
+                // number ≠ text holds vacuously
+            }
+        }
+    }
+    for (a, neg, pat) in likes {
+        let c = class_of[a];
+        match text_idx[c] {
+            Some(i) => op_text.likes[i].push((neg, pat)),
+            None => return None,
+        }
+    }
+
+    // ---- 5. solve both sides.
+    let num_vals = crate::order::solve_order(&op_num)?;
+    let text_vals = solve_text(&op_text)?;
+
+    // ---- 6. assemble the per-null model.
+    let mut values: Vec<Option<Value>> = vec![None; n];
+    for null in 0..n {
+        let c = class_of[null];
+        let v = if let Some(i) = num_idx[c] {
+            let x = num_vals[i];
+            if types[null] == DomainType::Int {
+                Value::Int(x as i64)
+            } else {
+                Value::real(x)
+            }
+        } else if let Some(i) = text_idx[c] {
+            Value::Str(text_vals[i].clone())
+        } else {
+            continue;
+        };
+        values[null] = Some(v);
+    }
+    Some(Model::new(values))
+}
+
+/// Convenience wrapper used by tests.
+pub fn is_conj_sat(types: &[DomainType], lits: &[Lit]) -> bool {
+    check_conj(types, lits).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ent::NullId;
+
+    fn nulls(spec: &[DomainType]) -> Vec<DomainType> {
+        spec.to_vec()
+    }
+
+    fn n(i: u32) -> NullId {
+        NullId(i)
+    }
+
+    #[test]
+    fn price_chain_sat_with_model() {
+        // p1 > p2 ∧ p2 > p3 — the running example's I0 condition.
+        let types = nulls(&[DomainType::Real; 3]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Gt, n(1)),
+            Lit::cmp(n(1), SolverOp::Gt, n(2)),
+        ];
+        let m = check_conj(&types, &lits).unwrap();
+        let (p1, p2, p3) = (
+            m.get(n(0)).unwrap().as_f64().unwrap(),
+            m.get(n(1)).unwrap().as_f64().unwrap(),
+            m.get(n(2)).unwrap().as_f64().unwrap(),
+        );
+        assert!(p1 > p2 && p2 > p3);
+    }
+
+    #[test]
+    fn contradiction_detected_through_equality() {
+        let types = nulls(&[DomainType::Real; 3]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Eq, n(1)),
+            Lit::cmp(n(1), SolverOp::Eq, n(2)),
+            Lit::cmp(n(0), SolverOp::Lt, n(2)),
+        ];
+        assert!(check_conj(&types, &lits).is_none());
+    }
+
+    #[test]
+    fn constants_pin_values() {
+        let types = nulls(&[DomainType::Real]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Gt, Value::real(2.25)),
+            Lit::cmp(n(0), SolverOp::Lt, Value::real(2.75)),
+        ];
+        let m = check_conj(&types, &lits).unwrap();
+        let v = m.get(n(0)).unwrap().as_f64().unwrap();
+        assert!(v > 2.25 && v < 2.75);
+    }
+
+    #[test]
+    fn equal_to_two_different_constants_unsat() {
+        let types = nulls(&[DomainType::Text]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Eq, Value::str("a")),
+            Lit::cmp(n(0), SolverOp::Eq, Value::str("b")),
+        ];
+        assert!(check_conj(&types, &lits).is_none());
+    }
+
+    #[test]
+    fn int_real_equal_constants_ok() {
+        let types = nulls(&[DomainType::Real]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Eq, Value::Int(3)),
+            Lit::cmp(n(0), SolverOp::Eq, Value::real(3.0)),
+        ];
+        assert!(check_conj(&types, &lits).is_some());
+    }
+
+    #[test]
+    fn text_number_comparison_unsat() {
+        let types = nulls(&[DomainType::Text, DomainType::Int]);
+        let lits = vec![Lit::cmp(n(0), SolverOp::Lt, n(1))];
+        assert!(check_conj(&types, &lits).is_none());
+    }
+
+    #[test]
+    fn like_with_order_and_equality() {
+        // d1 = d2, d1 LIKE 'Eve%', ¬(d2 LIKE 'Eve %') — satisfiable
+        // ("EveX"), the heart of the paper's Q1 case study.
+        let types = nulls(&[DomainType::Text, DomainType::Text]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Eq, n(1)),
+            Lit::like(n(0), "Eve%"),
+            Lit::not_like(n(1), "Eve %"),
+        ];
+        let m = check_conj(&types, &lits).unwrap();
+        let s = match m.get(n(0)).unwrap() {
+            Value::Str(s) => s.clone(),
+            other => panic!("expected string, got {other}"),
+        };
+        assert!(s.starts_with("Eve") && !s.starts_with("Eve "));
+    }
+
+    #[test]
+    fn like_conflict_through_equality() {
+        let types = nulls(&[DomainType::Text, DomainType::Text]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Eq, n(1)),
+            Lit::like(n(0), "Eve %"),
+            Lit::not_like(n(1), "Eve%"),
+        ];
+        assert!(check_conj(&types, &lits).is_none());
+    }
+
+    #[test]
+    fn int_window_unsat() {
+        let types = nulls(&[DomainType::Int]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Gt, Value::Int(2)),
+            Lit::cmp(n(0), SolverOp::Lt, Value::Int(3)),
+        ];
+        assert!(check_conj(&types, &lits).is_none());
+    }
+
+    #[test]
+    fn constant_folding() {
+        let types = nulls(&[]);
+        assert!(check_conj(
+            &types,
+            &[Lit::cmp(Value::Int(1), SolverOp::Lt, Value::Int(2))]
+        )
+        .is_some());
+        assert!(check_conj(
+            &types,
+            &[Lit::cmp(Value::Int(2), SolverOp::Lt, Value::Int(1))]
+        )
+        .is_none());
+        assert!(check_conj(&types, &[Lit::like(Value::str("Eve E"), "Eve %")]).is_some());
+        assert!(check_conj(&types, &[Lit::not_like(Value::str("Eve E"), "Eve%")]).is_none());
+    }
+
+    #[test]
+    fn ne_to_constant() {
+        let types = nulls(&[DomainType::Text]);
+        let lits = vec![
+            Lit::cmp(n(0), SolverOp::Eq, Value::str("Edge")),
+            Lit::cmp(n(0), SolverOp::Ne, Value::str("Edge")),
+        ];
+        assert!(check_conj(&types, &lits).is_none());
+    }
+
+    #[test]
+    fn empty_conjunction_sat() {
+        assert!(check_conj(&[], &[]).is_some());
+    }
+
+    #[test]
+    fn date_integers() {
+        // TPC-H style: 19930701 ≤ d < 19931001.
+        let types = nulls(&[DomainType::Int]);
+        let lits = vec![
+            Lit::cmp(Value::Int(19930701), SolverOp::Le, n(0)),
+            Lit::cmp(n(0), SolverOp::Lt, Value::Int(19931001)),
+        ];
+        let m = check_conj(&types, &lits).unwrap();
+        match m.get(n(0)).unwrap() {
+            Value::Int(d) => assert!((19930701..19931001).contains(d)),
+            other => panic!("expected int, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! SQL abstract syntax (the subset the paper uses).
+
+use cqi_schema::Value;
+
+/// A column reference `alias.attr` or bare `attr`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColRef {
+    pub alias: Option<String>,
+    pub attr: String,
+}
+
+/// A scalar term in a predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlTerm {
+    Col(ColRef),
+    Const(Value),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SqlOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// WHERE-clause conditions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlCond {
+    Cmp {
+        lhs: SqlTerm,
+        op: SqlOp,
+        rhs: SqlTerm,
+    },
+    Like {
+        negated: bool,
+        col: SqlTerm,
+        pattern: String,
+    },
+    Exists {
+        negated: bool,
+        subquery: Box<SelectStmt>,
+    },
+    And(Box<SqlCond>, Box<SqlCond>),
+    Or(Box<SqlCond>, Box<SqlCond>),
+    Not(Box<SqlCond>),
+}
+
+/// One `FROM` entry: `Relation [alias]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FromItem {
+    pub relation: String,
+    pub alias: String,
+}
+
+/// A `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    /// Output columns; empty means `SELECT *` (all columns of all tables,
+    /// in FROM order) — or a Boolean query inside `EXISTS`.
+    pub cols: Vec<ColRef>,
+    pub from: Vec<FromItem>,
+    pub where_: Option<SqlCond>,
+}
+
+/// A top-level query: a select, optionally `EXCEPT` another.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SqlQuery {
+    pub left: SelectStmt,
+    pub except: Option<SelectStmt>,
+}

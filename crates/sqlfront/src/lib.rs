@@ -1,0 +1,25 @@
+//! # cqi-sql
+//!
+//! A small SQL front-end lowered to Domain Relational Calculus — enough to
+//! express every SQL query the paper shows (Fig. 9, Table 3): `SELECT
+//! [DISTINCT] ... FROM ... WHERE ...` with `AND`/`OR`/`NOT`, comparison and
+//! `LIKE` predicates, correlated `EXISTS` / `NOT EXISTS` subqueries, and
+//! `EXCEPT` (which lowers to [`cqi_drc::Query::difference`]).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cqi_schema::{DomainType, Schema};
+//! use cqi_sql::sql_to_drc;
+//!
+//! let schema = Arc::new(Schema::builder()
+//!     .relation("Likes", &[("drinker", DomainType::Text), ("beer", DomainType::Text)])
+//!     .build().unwrap());
+//! let q = sql_to_drc(&schema, "SELECT L.beer FROM Likes L WHERE L.drinker LIKE 'Eve%'").unwrap();
+//! assert_eq!(q.out_vars.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+
+pub use lower::sql_to_drc;

@@ -1,0 +1,339 @@
+//! Recursive-descent SQL parser (reusing the DRC tokenizer).
+
+use cqi_drc::lexer::{lex, Spanned, Tok};
+use cqi_drc::QueryError;
+use cqi_schema::Value;
+
+use crate::ast::{ColRef, FromItem, SelectStmt, SqlCond, SqlOp, SqlQuery, SqlTerm};
+
+pub fn parse_sql(src: &str) -> Result<SqlQuery, QueryError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, i: 0 };
+    let left = p.select()?;
+    let except = if p.eat_kw("except") {
+        Some(p.select()?)
+    } else {
+        None
+    };
+    // Allow a trailing semicolon.
+    while p.peek() == Some(&Tok::Ident(";".into())) {
+        p.i += 1;
+    }
+    if p.i != p.toks.len() {
+        return Err(p.err("trailing input after SQL query"));
+    }
+    Ok(SqlQuery { left, except })
+}
+
+struct P {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl P {
+    fn err(&self, msg: &str) -> QueryError {
+        QueryError::Parse {
+            pos: self.toks.get(self.i).map(|s| s.pos).unwrap_or(0),
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", kw.to_uppercase())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, QueryError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut cols = Vec::new();
+        if self.peek() == Some(&Tok::Star) {
+            self.i += 1; // SELECT * — empty cols means "all"
+        } else {
+            loop {
+                cols.push(self.col_ref()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            let relation = self.ident()?;
+            // Optional alias (an identifier that is not a clause keyword).
+            let alias = match self.peek() {
+                Some(Tok::Ident(s))
+                    if !["where", "except", "and", "or"]
+                        .iter()
+                        .any(|k| s.eq_ignore_ascii_case(k)) =>
+                {
+                    let a = s.clone();
+                    self.i += 1;
+                    a
+                }
+                _ => relation.clone(),
+            };
+            from.push(FromItem { relation, alias });
+            if self.peek() == Some(&Tok::Comma) {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("where") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            cols,
+            from,
+            where_,
+        })
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, QueryError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Tok::Dot) {
+            self.i += 1;
+            let attr = self.ident()?;
+            Ok(ColRef {
+                alias: Some(first),
+                attr,
+            })
+        } else {
+            Ok(ColRef {
+                alias: None,
+                attr: first,
+            })
+        }
+    }
+
+    fn cond(&mut self) -> Result<SqlCond, QueryError> {
+        let mut c = self.and_cond()?;
+        while self.eat_kw("or") {
+            let r = self.and_cond()?;
+            c = SqlCond::Or(Box::new(c), Box::new(r));
+        }
+        Ok(c)
+    }
+
+    fn and_cond(&mut self) -> Result<SqlCond, QueryError> {
+        let mut c = self.unary_cond()?;
+        while self.eat_kw("and") {
+            let r = self.unary_cond()?;
+            c = SqlCond::And(Box::new(c), Box::new(r));
+        }
+        Ok(c)
+    }
+
+    fn unary_cond(&mut self) -> Result<SqlCond, QueryError> {
+        if self.is_kw("not") && self.peek2().is_some_and(|t| matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case("exists"))) {
+            self.i += 2;
+            return Ok(SqlCond::Exists {
+                negated: true,
+                subquery: Box::new(self.parenthesized_select()?),
+            });
+        }
+        if self.eat_kw("exists") {
+            return Ok(SqlCond::Exists {
+                negated: false,
+                subquery: Box::new(self.parenthesized_select()?),
+            });
+        }
+        if self.eat_kw("not") {
+            let inner = self.unary_cond()?;
+            return Ok(SqlCond::Not(Box::new(inner)));
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.i += 1;
+            let c = self.cond()?;
+            if self.peek() != Some(&Tok::RParen) {
+                return Err(self.err("expected `)`"));
+            }
+            self.i += 1;
+            return Ok(c);
+        }
+        // A comparison / LIKE predicate.
+        let lhs = self.term()?;
+        if self.eat_kw("not") {
+            self.expect_kw("like")?;
+            let pattern = self.pattern()?;
+            return Ok(SqlCond::Like {
+                negated: true,
+                col: lhs,
+                pattern,
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.pattern()?;
+            return Ok(SqlCond::Like {
+                negated: false,
+                col: lhs,
+                pattern,
+            });
+        }
+        let op = match self.bump() {
+            Some(Tok::Lt) => SqlOp::Lt,
+            Some(Tok::Le) => SqlOp::Le,
+            Some(Tok::Gt) => SqlOp::Gt,
+            Some(Tok::Ge) => SqlOp::Ge,
+            Some(Tok::Eq) => SqlOp::Eq,
+            Some(Tok::Ne) => SqlOp::Ne,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        let rhs = self.term()?;
+        Ok(SqlCond::Cmp { lhs, op, rhs })
+    }
+
+    fn parenthesized_select(&mut self) -> Result<SelectStmt, QueryError> {
+        if self.peek() != Some(&Tok::LParen) {
+            return Err(self.err("expected `(` after EXISTS"));
+        }
+        self.i += 1;
+        let s = self.select()?;
+        if self.peek() != Some(&Tok::RParen) {
+            return Err(self.err("expected `)` closing the subquery"));
+        }
+        self.i += 1;
+        Ok(s)
+    }
+
+    fn pattern(&mut self) -> Result<String, QueryError> {
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(s),
+            _ => Err(self.err("expected string pattern after LIKE")),
+        }
+    }
+
+    fn term(&mut self) -> Result<SqlTerm, QueryError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.i += 1;
+                Ok(SqlTerm::Const(Value::Int(v)))
+            }
+            Some(Tok::Real(v)) => {
+                let v = *v;
+                self.i += 1;
+                Ok(SqlTerm::Const(Value::real(v)))
+            }
+            Some(Tok::Str(s)) => {
+                let s = s.clone();
+                self.i += 1;
+                Ok(SqlTerm::Const(Value::Str(s)))
+            }
+            Some(Tok::Ident(_)) => Ok(SqlTerm::Col(self.col_ref()?)),
+            _ => Err(self.err("expected a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse_sql("SELECT l.beer, s.bar FROM Likes l, Serves s WHERE l.beer = s.beer").unwrap();
+        assert_eq!(q.left.cols.len(), 2);
+        assert_eq!(q.left.from.len(), 2);
+        assert!(q.except.is_none());
+    }
+
+    #[test]
+    fn parses_fig9_qa() {
+        let q = parse_sql(
+            "SELECT l.beer, s.bar FROM Likes l, Serves s \
+             WHERE l.drinker LIKE 'Eve %' AND l.beer = s.beer \
+             AND NOT EXISTS (SELECT * FROM Serves WHERE beer = s.beer AND price > s.price)",
+        )
+        .unwrap();
+        let w = q.left.where_.unwrap();
+        fn has_not_exists(c: &SqlCond) -> bool {
+            match c {
+                SqlCond::Exists { negated, .. } => *negated,
+                SqlCond::And(l, r) | SqlCond::Or(l, r) => {
+                    has_not_exists(l) || has_not_exists(r)
+                }
+                SqlCond::Not(i) => has_not_exists(i),
+                _ => false,
+            }
+        }
+        assert!(has_not_exists(&w));
+    }
+
+    #[test]
+    fn parses_distinct_and_ne() {
+        let q = parse_sql(
+            "SELECT DISTINCT S.beer FROM Serves S, Likes L \
+             WHERE S.bar = 'Edge' AND S.beer = L.beer AND L.drinker <> 'Richard'",
+        )
+        .unwrap();
+        assert!(q.left.distinct);
+    }
+
+    #[test]
+    fn parses_except() {
+        let q = parse_sql(
+            "SELECT b.name FROM Beer b EXCEPT SELECT l.beer FROM Likes l",
+        )
+        .unwrap();
+        assert!(q.except.is_some());
+    }
+
+    #[test]
+    fn alias_defaults_to_relation_name() {
+        let q = parse_sql("SELECT beer FROM Serves WHERE price > 2.5").unwrap();
+        assert_eq!(q.left.from[0].alias, "Serves");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_sql("SELECT FROM").is_err());
+        assert!(parse_sql("SELECT x FROM t WHERE").is_err());
+    }
+}
