@@ -97,7 +97,9 @@ fn reprint(q: &Query) -> String {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    // Streams are deterministic and replayable: the vendored proptest seeds
+    // every (test, case) pair from PROPTEST_SEED (default 0).
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// print ∘ parse is a fixpoint: the printed form re-parses to a query
     /// that prints identically.

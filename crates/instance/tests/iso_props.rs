@@ -98,7 +98,9 @@ fn build(seed: u64, shuffle: u64) -> CInstance {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Streams are deterministic and replayable: the vendored proptest seeds
+    // every (test, case) pair from PROPTEST_SEED (default 0).
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// Renamed (shuffled-creation) instances are isomorphic and share a
     /// signature.

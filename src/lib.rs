@@ -1,0 +1,56 @@
+//! # cqi — Understanding Queries by Conditional Instances
+//!
+//! Umbrella crate for the workspace reproducing *Understanding Queries by
+//! Conditional Instances* (SIGMOD 2022). It re-exports every layer under a
+//! stable module path, so downstream users depend on one crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`schema`] | `cqi-schema` | values, domains, relations, constraints |
+//! | [`solver`] | `cqi-solver` | DPLL(T)-lite condition solver |
+//! | [`instance`] | `cqi-instance` | c-instances, consistency, isomorphism, grounding |
+//! | [`drc`] | `cqi-drc` | DRC parser, normalizer, pretty-printer, syntax trees |
+//! | [`eval`] | `cqi-eval` | ground evaluation of DRC queries |
+//! | [`core`] | `cqi-core` | the chase: six variants computing minimal c-solutions |
+//! | [`datasets`] | `cqi-datasets` | Beers + TPC-H schemas and workloads |
+//! | [`baseline`] | `cqi-baseline` | RATest/Cosette-style baselines |
+//! | [`sql`] | `cqi-sql` | SQL→DRC front-end |
+//! | [`bench`] | `cqi-bench` | experiment harness (`reproduce` binary) |
+//!
+//! The repo-level integration tests (`tests/`) and runnable examples
+//! (`examples/`) are hosted by this crate.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cqi::prelude::*;
+//!
+//! let schema = Arc::new(
+//!     Schema::builder()
+//!         .relation("Likes", &[("drinker", DomainType::Text), ("beer", DomainType::Text)])
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let q = parse_query(&schema, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+//! let sol = run_variant(&SyntaxTree::new(q), Variant::ConjAdd, &ChaseConfig::with_limit(4));
+//! assert!(!sol.instances.is_empty());
+//! ```
+
+pub use cqi_baseline as baseline;
+pub use cqi_bench as bench;
+pub use cqi_core as core;
+pub use cqi_datasets as datasets;
+pub use cqi_drc as drc;
+pub use cqi_eval as eval;
+pub use cqi_instance as instance;
+pub use cqi_schema as schema;
+pub use cqi_sql as sql;
+pub use cqi_solver as solver;
+
+/// The names most programs start from, in one import.
+pub mod prelude {
+    pub use cqi_core::{run_variant, ChaseConfig, Variant};
+    pub use cqi_drc::{parse_query, Query, SyntaxTree};
+    pub use cqi_instance::{CInstance, Cond};
+    pub use cqi_schema::{DomainType, Schema, Value};
+    pub use cqi_solver::{Lit, NullId, Problem, SolverOp};
+}

@@ -1,0 +1,442 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so this path crate provides
+//! the same surface the seed's property tests are written against: the
+//! `proptest!` macro, `Strategy` with `prop_map`, `Just`, `any`,
+//! `prop_oneof!`, `proptest::collection::vec`, char-class string strategies
+//! (`"[ab%_]{1,5}"`), and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — failures report the case seed instead, and every stream
+//!   is deterministic, so a failing case replays exactly;
+//! * the per-test RNG is seeded from `PROPTEST_SEED` (env, default 0) mixed
+//!   with the test name and case index, making runs reproducible while still
+//!   varying cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Base seed for all property tests: `PROPTEST_SEED` env var, default 0.
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Derives the deterministic RNG for (test, case): stable across runs and
+/// machines for a fixed `PROPTEST_SEED`.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3); // FNV-1a 64-bit prime
+    }
+    StdRng::seed_from_u64(base_seed() ^ h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// A generator of values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Pattern-string strategies: `"[ab%_]{1,5}"` yields strings drawn from the
+/// character class with a length in `1..=5`. Supports sequences of literal
+/// characters and `[class]` atoms, each with an optional `{m}`/`{m,n}`
+/// repetition — the fragment of regex syntax the seed's tests use.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn gen_from_pattern(pat: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<char> = if chars[i] == '[' {
+            let end = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated character class in pattern {pat:?}"));
+            let cls = chars[i + 1..end].to_vec();
+            i = end + 1;
+            cls
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        assert!(!class.is_empty(), "empty character class in pattern {pat:?}");
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let end = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pat:?}"));
+            let spec: String = chars[i + 1..end].iter().collect();
+            i = end + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n: usize = spec.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1usize, 1usize)
+        };
+        let n = if lo == hi { lo } else { rng.gen_range(lo..hi + 1) };
+        for _ in 0..n {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+/// `any::<T>()` — arbitrary values of primitive types.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            assert!(
+                !self.len.is_empty(),
+                "collection::vec length range {:?} is empty (did you mean {}..{}?)",
+                self.len,
+                self.len.start,
+                self.len.start + 1,
+            );
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Mirror of `proptest!`: expands each `fn name(arg in strategy, ...) body`
+/// into a `#[test]` that replays `cases` deterministic generations of the
+/// argument strategies through the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `prop_assert!` — no shrinking here, so it is a plain assertion; the
+/// deterministic per-case RNG makes any failure replayable.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_len() {
+        let mut rng = crate::case_rng("pattern", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ab%_]{1,5}", &mut rng);
+            assert!((1..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "ab%_".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_fixed_repeat_patterns() {
+        let mut rng = crate::case_rng("literal", 0);
+        assert_eq!(Strategy::generate(&"abc", &mut rng), "abc");
+        let s = Strategy::generate(&"x[01]{3}y", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(x in 0u32..10, v in crate::collection::vec(0i64..5, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(y in prop_oneof![Just(1u8), Just(2u8)], z in (0u8..3, 0u8..3).prop_map(|(a, b)| a + b)) {
+            prop_assert!(y == 1 || y == 2);
+            prop_assert!(z <= 4);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_endpoints() {
+        let mut rng = crate::case_rng("inclusive", 0);
+        let (mut saw_lo, mut saw_hi) = (false, false);
+        for _ in 0..400 {
+            let v = Strategy::generate(&(0u8..=2), &mut rng);
+            assert!(v <= 2);
+            saw_lo |= v == 0;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi, "inclusive bounds must both be generated");
+        assert_eq!(Strategy::generate(&(7i64..=7), &mut rng), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length range")]
+    fn empty_vec_length_range_panics() {
+        let mut rng = crate::case_rng("emptyvec", 0);
+        let _ = Strategy::generate(&crate::collection::vec(0u32..4, 3..3), &mut rng);
+    }
+
+    #[test]
+    fn determinism_across_replays() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        let s = crate::collection::vec(0u32..100, 1..10);
+        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `StdRng`, `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range,
+//! gen_bool}`, and `seq::SliceRandom::shuffle`.
+//!
+//! The container that builds this repo has no access to crates.io, so the
+//! three external dev/bench dependencies (`rand`, `proptest`, `criterion`)
+//! are vendored as small path crates with compatible APIs. Determinism is a
+//! feature here: `StdRng` is a splitmix64/xoshiro-style generator whose
+//! streams are fully determined by the seed, which keeps the property-test
+//! and baseline-generator fixtures reproducible across machines.
+
+/// Core random-number source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from half-open or inclusive ranges.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform over `lo..=hi` (both endpoints reachable).
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                // Multiply-shift reduction; bias is < 2^-64 per draw, far
+                // below what any test in this workspace can observe.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range called with empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        // `lo + unit*(hi-lo)` can round up to exactly `hi`; keep the
+        // half-open contract by stepping just below it in that case.
+        (lo + unit * (hi - lo)).min(hi.next_down())
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range called with empty range");
+        if lo == hi {
+            return lo;
+        }
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (lo + unit * (hi - lo)).min(hi)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let v = f64::sample_range(rng, lo as f64, hi as f64) as f32;
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        (f64::sample_range_inclusive(rng, lo as f64, hi as f64) as f32).clamp(lo, hi)
+    }
+}
+
+/// Range argument to [`Rng::gen_range`], mirroring `rand::distributions::
+/// uniform::SampleRange`: both `lo..hi` and `lo..=hi` are accepted.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range_inclusive(rng, lo, hi)
+    }
+}
+
+/// Values `Rng::gen` can produce without a range.
+pub trait Standard: Sized {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The user-facing convenience trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    fn gen_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        <f64 as Standard>::generate(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded through splitmix64 —
+    /// the same construction the real `rand::rngs::StdRng` documents as
+    /// acceptable for reproducible, non-cryptographic use.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Mirror of `rand::seq::SliceRandom` for the operations this
+    /// workspace uses.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17i64);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_endpoints() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut lo_hit, mut hi_hit) = (false, false);
+        for _ in 0..500 {
+            let v = rng.gen_range(0..=2u32);
+            assert!(v <= 2);
+            lo_hit |= v == 0;
+            hi_hit |= v == 2;
+            let f = rng.gen_range(0.5..=1.5f64);
+            assert!((0.5..=1.5).contains(&f));
+        }
+        assert!(lo_hit && hi_hit);
+        assert_eq!(rng.gen_range(4..=4i64), 4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
