@@ -135,7 +135,7 @@ fn random_value(rng: &mut StdRng, ty: DomainType, domain_tag: u32) -> Value {
                 "Corona",
             ];
             let pick = pool[rng.gen_range(0..pool.len())];
-            Value::Str(format!("{pick} {domain_tag}"))
+            Value::str(format!("{pick} {domain_tag}"))
         }
     }
 }

@@ -55,5 +55,34 @@ fn bench_running_example(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_variants, bench_running_example);
+/// Solver caching/incrementality knobs on whole chase runs: `cold` turns
+/// both off (pre-PR behaviour), `memo` enables only the canonical-problem
+/// cache, `memo+incr` is the default configuration. `keys off` exercises
+/// the pure-conjunctive fast path that key EGDs would otherwise disable.
+fn bench_cache_knobs(c: &mut Criterion) {
+    let queries = beers_queries();
+    let dq = queries.iter().find(|q| q.name == "Q2B").unwrap();
+    let tree = SyntaxTree::new(dq.query.clone());
+    let mut g = c.benchmark_group("fig8_cache_knobs");
+    g.sample_size(10);
+    for (label, keys, cache, incr) in [
+        ("cold", true, false, false),
+        ("memo", true, true, false),
+        ("memo+incr", true, true, true),
+        ("cold keys off", false, false, false),
+        ("memo+incr keys off", false, true, true),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &tree, |b, tree| {
+            let cfg = ChaseConfig::with_limit(8)
+                .enforce_keys(keys)
+                .timeout(Duration::from_secs(10))
+                .solver_cache(cache)
+                .incremental(incr);
+            b.iter(|| black_box(run_variant(black_box(tree), Variant::DisjEO, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_running_example, bench_cache_knobs);
 criterion_main!(benches);

@@ -3,10 +3,12 @@
 
 use std::time::Duration;
 
+use std::collections::BTreeMap;
+
 use cqi_bench::casestudy::print_case_study;
 use cqi_bench::harness::{
     self, coverage_series, joint_coverage_size_series, print_series, run_workload,
-    runtime_series, XMeasure,
+    runtime_series, SeriesSink, XMeasure,
 };
 use cqi_bench::userstudy::print_user_study;
 use cqi_core::{cq_neg_universal_solution, ChaseConfig, Variant};
@@ -19,6 +21,9 @@ struct Opts {
     beers_limit: usize,
     tpch_limit: usize,
     quick: bool,
+    /// When set, every table/series is also written there as CSV plus a
+    /// combined `figures.json` (machine-readable, CI-diffable).
+    sink: Option<SeriesSink>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -27,6 +32,7 @@ fn parse_opts(args: &[String]) -> Opts {
         beers_limit: 10,
         tpch_limit: 15,
         quick: false,
+        sink: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -44,11 +50,33 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.tpch_limit = l;
             }
             "--quick" => o.quick = true,
+            "--out-dir" => {
+                i += 1;
+                o.sink = Some(
+                    SeriesSink::new(&args[i]).expect("--out-dir must be creatable"),
+                );
+            }
             other => panic!("unknown option `{other}`"),
         }
         i += 1;
     }
     o
+}
+
+/// Prints one series table and mirrors it into the sink when `--out-dir`
+/// is set.
+fn emit_series(
+    o: &mut Opts,
+    title: &str,
+    ylabel: &str,
+    variants: &[Variant],
+    series: &BTreeMap<usize, BTreeMap<Variant, f64>>,
+) {
+    print_series(title, ylabel, variants, series);
+    if let Some(sink) = o.sink.as_mut() {
+        sink.emit(title, ylabel, variants, series)
+            .expect("writing series to --out-dir");
+    }
 }
 
 fn beers_cfg(o: &Opts) -> ChaseConfig {
@@ -66,14 +94,14 @@ fn tpch_cfg(o: &Opts) -> ChaseConfig {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let opts = parse_opts(&args[1.min(args.len())..]);
+    let mut opts = parse_opts(&args[1.min(args.len())..]);
     match cmd {
-        "table1" => table1(),
-        "fig8" | "fig10" => beers_figures(&opts),
-        "fig11" => tpch_figures(&opts),
-        "fig12" => limit_sensitivity(&opts, Variant::DisjAdd, "Fig. 12"),
-        "fig13" => limit_sensitivity(&opts, Variant::ConjAdd, "Fig. 13"),
-        "interactivity" => interactivity(&opts),
+        "table1" => table1(&mut opts),
+        "fig8" | "fig10" => beers_figures(&mut opts),
+        "fig11" => tpch_figures(&mut opts),
+        "fig12" => limit_sensitivity(&mut opts, Variant::DisjAdd, "Fig. 12"),
+        "fig13" => limit_sensitivity(&mut opts, Variant::ConjAdd, "Fig. 13"),
+        "interactivity" => interactivity(&mut opts),
         "table2" => print_case_study(10, opts.timeout.max(Duration::from_secs(20))),
         "userstudy" => print_user_study(
             13,
@@ -83,12 +111,12 @@ fn main() {
         ),
         "cqneg" => cqneg(),
         "all" => {
-            table1();
-            beers_figures(&opts);
-            tpch_figures(&opts);
-            limit_sensitivity(&opts, Variant::DisjAdd, "Fig. 12");
-            limit_sensitivity(&opts, Variant::ConjAdd, "Fig. 13");
-            interactivity(&opts);
+            table1(&mut opts);
+            beers_figures(&mut opts);
+            tpch_figures(&mut opts);
+            limit_sensitivity(&mut opts, Variant::DisjAdd, "Fig. 12");
+            limit_sensitivity(&mut opts, Variant::ConjAdd, "Fig. 13");
+            interactivity(&mut opts);
             print_case_study(10, opts.timeout.max(Duration::from_secs(20)));
             print_user_study(13, opts.timeout.max(Duration::from_secs(20)), 42, 22);
             cqneg();
@@ -96,19 +124,24 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: reproduce <table1|fig8|fig10|fig11|fig12|fig13|interactivity|table2|userstudy|cqneg|all> \
-                 [--timeout SECS] [--limit N] [--quick]"
+                 [--timeout SECS] [--limit N] [--quick] [--out-dir DIR]"
             );
+            return;
         }
+    }
+    if let Some(sink) = opts.sink.as_ref() {
+        sink.finish().expect("writing figures.json to --out-dir");
     }
 }
 
 /// Table 1: dataset statistics (ours vs paper).
-fn table1() {
+fn table1(o: &mut Opts) {
     println!("== Table 1: dataset statistics ==");
     println!(
         "{:<8} {:>9} {:>12} {:>17} {:>9} {:>12}",
         "Dataset", "# Queries", "Mean # Atoms", "Mean # Quantifiers", "Mean # Or", "Mean Height"
     );
+    let mut rows: Vec<Vec<String>> = Vec::new();
     for (name, qs, paper) in [
         ("Beers", beers_queries(), (35, 6.40, 13.94, 2.17, 9.54)),
         ("TPC-H", tpch_queries(), (28, 11.96, 23.07, 4.18, 12.07)),
@@ -122,6 +155,32 @@ fn table1() {
             "{:<8} {:>9} {:>12.2} {:>17.2} {:>9.2} {:>12.2}   (paper)",
             name, paper.0, paper.1, paper.2, paper.3, paper.4
         );
+        rows.push(vec![
+            name.to_owned(),
+            "ours".to_owned(),
+            s.num_queries.to_string(),
+            format!("{:.2}", s.mean_atoms),
+            format!("{:.2}", s.mean_quantifiers),
+            format!("{:.2}", s.mean_ors),
+            format!("{:.2}", s.mean_height),
+        ]);
+        rows.push(vec![
+            name.to_owned(),
+            "paper".to_owned(),
+            paper.0.to_string(),
+            format!("{:.2}", paper.1),
+            format!("{:.2}", paper.2),
+            format!("{:.2}", paper.3),
+            format!("{:.2}", paper.4),
+        ]);
+    }
+    if let Some(sink) = o.sink.as_mut() {
+        sink.emit_table(
+            "Table 1: dataset statistics",
+            &["dataset", "source", "queries", "mean_atoms", "mean_quantifiers", "mean_ors", "mean_height"],
+            &rows,
+        )
+        .expect("writing table1 to --out-dir");
     }
 }
 
@@ -136,7 +195,7 @@ fn beers_subset(quick: bool) -> Vec<DatasetQuery> {
 }
 
 /// Figures 8 and 10: runtime and quality over the Beers workload.
-fn beers_figures(o: &Opts) {
+fn beers_figures(o: &mut Opts) {
     let variants = Variant::ALL;
     let qs = beers_subset(o.quick);
     eprintln!(
@@ -148,20 +207,23 @@ fn beers_figures(o: &Opts) {
     );
     let records = run_workload(&qs, &variants, &beers_cfg(o), true);
     for x in XMeasure::ALL {
-        print_series(
+        emit_series(
+            o,
             &format!("Fig. 8: running time vs {}", x.label()),
             "mean seconds",
             &variants,
             &runtime_series(&records, x),
         );
     }
-    print_series(
+    emit_series(
+        o,
         "Fig. 10 (left): # coverage vs # Or Below Forall + # Forall",
         "mean # distinct coverages",
         &variants,
         &coverage_series(&records, XMeasure::OrBelowForallPlusForall),
     );
-    print_series(
+    emit_series(
+        o,
         "Fig. 10 (right): instance size of joint coverage vs # quantifiers",
         "mean size",
         &variants,
@@ -170,7 +232,7 @@ fn beers_figures(o: &Opts) {
 }
 
 /// Figure 11: TPC-H runtime and quality (4 variants, as in the paper).
-fn tpch_figures(o: &Opts) {
+fn tpch_figures(o: &mut Opts) {
     let variants = [
         Variant::DisjEO,
         Variant::DisjAdd,
@@ -189,13 +251,15 @@ fn tpch_figures(o: &Opts) {
         o.tpch_limit
     );
     let records = run_workload(&qs, &variants, &tpch_cfg(o), true);
-    print_series(
+    emit_series(
+        o,
         "Fig. 11 (left): running time vs # Or Below Forall + # Forall",
         "mean seconds",
         &variants,
         &runtime_series(&records, XMeasure::OrBelowForallPlusForall),
     );
-    print_series(
+    emit_series(
+        o,
         "Fig. 11 (right): # coverage vs # Or Below Forall + # Forall",
         "mean # distinct coverages",
         &variants,
@@ -204,7 +268,7 @@ fn tpch_figures(o: &Opts) {
 }
 
 /// Figures 12/13: limit parameter sensitivity for one Add variant.
-fn limit_sensitivity(o: &Opts, variant: Variant, figure: &str) {
+fn limit_sensitivity(o: &mut Opts, variant: Variant, figure: &str) {
     let qs = beers_subset(o.quick);
     for limit in [6usize, 8, 10] {
         let cfg = ChaseConfig::with_limit(limit)
@@ -212,7 +276,8 @@ fn limit_sensitivity(o: &Opts, variant: Variant, figure: &str) {
             .timeout(o.timeout);
         eprintln!("{figure}: {} at limit {limit} ...", variant.name());
         let records = run_workload(&qs, &[variant], &cfg, false);
-        print_series(
+        emit_series(
+            o,
             &format!(
                 "{figure}: {} limit={limit} — runtime vs # Or Below Forall + # Forall",
                 variant.name()
@@ -221,7 +286,8 @@ fn limit_sensitivity(o: &Opts, variant: Variant, figure: &str) {
             &[variant],
             &runtime_series(&records, XMeasure::OrBelowForallPlusForall),
         );
-        print_series(
+        emit_series(
+            o,
             &format!(
                 "{figure}: {} limit={limit} — # coverage vs # Or Below Forall + # Forall",
                 variant.name()
@@ -234,8 +300,9 @@ fn limit_sensitivity(o: &Opts, variant: Variant, figure: &str) {
 }
 
 /// §5.1 interactivity: time-to-first instance and inter-emission gap.
-fn interactivity(o: &Opts) {
+fn interactivity(o: &mut Opts) {
     println!("\n== §5.1 Interactivity ==");
+    let mut rows: Vec<Vec<String>> = Vec::new();
     for (label, qs, cfg) in [
         ("Beers", beers_subset(o.quick), beers_cfg(o)),
         ("TPC-H", {
@@ -250,6 +317,10 @@ fn interactivity(o: &Opts) {
         let records = run_workload(&qs, &variants, &cfg, false);
         for v in variants {
             let stats = harness::interactivity(&records, v);
+            let fmt = |d: Option<Duration>| {
+                d.map(|d| format!("{:.2}", d.as_secs_f64()))
+                    .unwrap_or_else(|| "-".into())
+            };
             println!(
                 "{label:<6} {:<9} time-to-first: {:>8}   mean gap between coverages: {:>8}",
                 v.name(),
@@ -262,7 +333,21 @@ fn interactivity(o: &Opts) {
                     .map(|d| format!("{:.2}s", d.as_secs_f64()))
                     .unwrap_or_else(|| "-".into()),
             );
+            rows.push(vec![
+                label.to_owned(),
+                v.name().to_owned(),
+                fmt(stats.mean_time_to_first),
+                fmt(stats.mean_gap),
+            ]);
         }
+    }
+    if let Some(sink) = o.sink.as_mut() {
+        sink.emit_table(
+            "Interactivity (5.1)",
+            &["dataset", "variant", "time_to_first_s", "mean_gap_s"],
+            &rows,
+        )
+        .expect("writing interactivity to --out-dir");
     }
 }
 

@@ -1,6 +1,8 @@
 //! Workload runner and figure/table assembly.
 
 use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use cqi_core::{run_variant, ChaseConfig, Variant};
@@ -254,6 +256,138 @@ pub fn print_series(
             }
         }
         println!();
+    }
+}
+
+/// Machine-readable figure output: writes one CSV per emitted series plus
+/// a combined `figures.json` next to the pretty tables, so perf/figure
+/// regressions are diffable in CI (`reproduce --out-dir DIR`).
+pub struct SeriesSink {
+    dir: PathBuf,
+    json_entries: Vec<String>,
+}
+
+fn slugify(title: &str) -> String {
+    let mut slug = String::new();
+    for c in title.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('_') && !slug.is_empty() {
+            slug.push('_');
+        }
+    }
+    slug.trim_end_matches('_').to_owned()
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            '\n' => vec!['\\', 'n'],
+            _ => vec![c],
+        })
+        .collect()
+}
+
+impl SeriesSink {
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<SeriesSink> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SeriesSink {
+            dir,
+            json_entries: Vec::new(),
+        })
+    }
+
+    /// Writes `<slug>.csv` for one series and records it for the combined
+    /// JSON (written by [`finish`](Self::finish)).
+    pub fn emit(
+        &mut self,
+        title: &str,
+        ylabel: &str,
+        variants: &[Variant],
+        series: &BTreeMap<usize, BTreeMap<Variant, f64>>,
+    ) -> std::io::Result<()> {
+        let slug = slugify(title);
+        let mut csv = String::from("x");
+        for v in variants {
+            csv.push(',');
+            csv.push_str(v.name());
+        }
+        csv.push('\n');
+        let mut points = Vec::new();
+        for (xv, per_variant) in series {
+            csv.push_str(&xv.to_string());
+            let mut row = Vec::new();
+            for v in variants {
+                match per_variant.get(v) {
+                    Some(val) => {
+                        csv.push_str(&format!(",{val:.6}"));
+                        row.push(format!("\"{}\": {val:.6}", json_escape(v.name())));
+                    }
+                    None => csv.push(','),
+                }
+            }
+            csv.push('\n');
+            points.push(format!("{{\"x\": {xv}, {}}}", row.join(", ")));
+        }
+        std::fs::write(self.dir.join(format!("{slug}.csv")), csv)?;
+        self.json_entries.push(format!(
+            "{{\"title\": \"{}\", \"ylabel\": \"{}\", \"csv\": \"{slug}.csv\", \"points\": [{}]}}",
+            json_escape(title),
+            json_escape(ylabel),
+            points.join(", ")
+        ));
+        Ok(())
+    }
+
+    /// Writes an arbitrary table as `<slug>.csv` and records it in the
+    /// combined JSON (used by `table1` and the interactivity report).
+    pub fn emit_table(
+        &mut self,
+        title: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> std::io::Result<()> {
+        let slug = slugify(title);
+        let mut csv = header.join(",");
+        csv.push('\n');
+        for row in rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        std::fs::write(self.dir.join(format!("{slug}.csv")), csv)?;
+        let cols: Vec<String> = header.iter().map(|h| format!("\"{}\"", json_escape(h))).collect();
+        let json_rows: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> =
+                    r.iter().map(|c| format!("\"{}\"", json_escape(c))).collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        self.json_entries.push(format!(
+            "{{\"title\": \"{}\", \"csv\": \"{slug}.csv\", \"columns\": [{}], \"rows\": [{}]}}",
+            json_escape(title),
+            cols.join(", "),
+            json_rows.join(", ")
+        ));
+        Ok(())
+    }
+
+    /// Writes the combined `figures.json`.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let mut out = std::fs::File::create(self.dir.join("figures.json"))?;
+        writeln!(out, "[")?;
+        for (i, e) in self.json_entries.iter().enumerate() {
+            writeln!(
+                out,
+                "  {e}{}",
+                if i + 1 < self.json_entries.len() { "," } else { "" }
+            )?;
+        }
+        writeln!(out, "]")?;
+        Ok(())
     }
 }
 

@@ -17,9 +17,12 @@ use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 use cqi_drc::{Atom, Formula, Query, Term, VarId};
-use cqi_instance::consistency::is_consistent;
+use cqi_instance::consistency::{
+    conj_lits, is_consistent, is_consistent_cached, is_pure_conjunctive, to_problem,
+};
 use cqi_instance::{exact_digest, is_isomorphic, signature, CInstance, Cond};
-use cqi_solver::Ent;
+use cqi_solver::canon::canonicalize;
+use cqi_solver::{CacheStats, Ent, Lit, SaturatedState, SolverCache};
 
 use crate::config::ChaseConfig;
 use crate::conjtree::expand_disj_node;
@@ -48,12 +51,38 @@ pub struct Chase<'a> {
     bfs_memo: HashMap<(u64, u64, u64), Vec<CInstance>>,
     /// Memoized `IsConsistent` answers by instance digest.
     consist_memo: HashMap<u64, bool>,
+    /// Canonical-problem memo shared across the whole run: isomorphic
+    /// subproblems (renamed nulls, extra unconstrained nulls) are decided
+    /// once (`cfg.solver_cache`).
+    solver_cache: SolverCache,
+    /// Saturated theory state per (pure-conjunctive) instance digest,
+    /// extended by delta literals on single chase steps
+    /// (`cfg.incremental`).
+    sat_memo: HashMap<u64, SaturatedState>,
+    /// Chase steps decided by extending the parent's saturated state.
+    pub incr_extends: usize,
+    /// Chase steps that fell back to the full check (keys, negative
+    /// conditions, or no reusable parent state).
+    pub incr_fallbacks: usize,
 }
+
+/// Bound on retained saturated states (each is small — vectors over the
+/// instance's nulls/literals — but runs can visit millions of instances).
+const SAT_MEMO_CAP: usize = 200_000;
 
 fn hash_of<T: Hash>(t: &T) -> u64 {
     let mut h = DefaultHasher::new();
     t.hash(&mut h);
     h.finish()
+}
+
+/// Key for the saturated-state memo, derived from an already-computed
+/// [`exact_digest`]. Unlike the digest alone (which is blind to nulls that
+/// appear in no tuple/condition), this includes the null *type* vector: a
+/// [`SaturatedState`] depends on every null's domain type, so instances
+/// differing only in an unused null's type must not share a state.
+fn state_key(digest: u64, inst: &CInstance) -> u64 {
+    hash_of(&(digest, inst.null_types()))
 }
 
 impl<'a> Chase<'a> {
@@ -70,7 +99,16 @@ impl<'a> Chase<'a> {
             accepted: Vec::new(),
             bfs_memo: HashMap::new(),
             consist_memo: HashMap::new(),
+            solver_cache: SolverCache::new(cfg.solver_cache_capacity),
+            sat_memo: HashMap::new(),
+            incr_extends: 0,
+            incr_fallbacks: 0,
         }
+    }
+
+    /// Hit/miss/eviction counters of the canonical-problem memo.
+    pub fn solver_cache_stats(&self) -> CacheStats {
+        self.solver_cache.stats
     }
 
     fn stopped(&mut self) -> bool {
@@ -91,11 +129,149 @@ impl<'a> Chase<'a> {
         if let Some(v) = self.consist_memo.get(&key) {
             return *v;
         }
-        let ans = is_consistent(inst, self.cfg.enforce_keys);
+        let ans = self.full_check(inst);
+        self.memoize_consistency(key, ans);
+        ans
+    }
+
+    /// `IsConsistent` for a chase step `parent → child`. The child's
+    /// problem is canonicalized once and looked up in the solver memo; on a
+    /// miss, the parent's saturated theory state is extended with the
+    /// step's delta literals (much cheaper than a fresh solve) and the
+    /// answer is inserted into the memo so isomorphic siblings hit. The
+    /// extension soundly falls back to a full solve whenever the step
+    /// touches keys or negative conditions (or no parent state is
+    /// reusable).
+    fn consistent_step(&mut self, parent: &CInstance, child: &CInstance) -> bool {
+        let key = exact_digest(child);
+        if let Some(v) = self.consist_memo.get(&key) {
+            return *v;
+        }
+        let ans = if self.cfg.solver_cache {
+            let problem = to_problem(child, self.cfg.enforce_keys);
+            let canon = canonicalize(&problem);
+            match self.solver_cache.lookup_sat(&canon) {
+                Some(sat) => sat,
+                None => match self.incremental_check(parent, child) {
+                    Some(ext) => {
+                        self.incr_extends += 1;
+                        self.solver_cache
+                            .insert(&canon, ext.as_ref().map(|st| st.model()));
+                        match ext {
+                            Some(st) => {
+                                self.memoize_state(state_key(key, child), st);
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                    None => {
+                        self.incr_fallbacks += 1;
+                        self.solver_cache.solve_canonical(&canon).is_sat()
+                    }
+                },
+            }
+        } else {
+            match self.incremental_check(parent, child) {
+                Some(ext) => {
+                    self.incr_extends += 1;
+                    match ext {
+                        Some(st) => {
+                            self.memoize_state(state_key(key, child), st);
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                None => {
+                    self.incr_fallbacks += 1;
+                    is_consistent(child, self.cfg.enforce_keys)
+                }
+            }
+        };
+        self.memoize_consistency(key, ans);
+        ans
+    }
+
+    /// From-scratch `IsConsistent`, through the canonical-problem memo when
+    /// enabled.
+    fn full_check(&mut self, inst: &CInstance) -> bool {
+        if self.cfg.solver_cache {
+            is_consistent_cached(inst, self.cfg.enforce_keys, &mut self.solver_cache)
+        } else {
+            is_consistent(inst, self.cfg.enforce_keys)
+        }
+    }
+
+    fn memoize_consistency(&mut self, key: u64, ans: bool) {
         if self.consist_memo.len() < 1_000_000 {
             self.consist_memo.insert(key, ans);
         }
-        ans
+    }
+
+    /// The incremental path. Outer `None` means "not eligible — run the
+    /// full check"; `Some(ext)` is a definitive answer obtained by
+    /// extending the parent's [`SaturatedState`] with the delta:
+    /// `Some(state)` when consistent, `None` when the delta is refuted (the
+    /// parent state is untouched — rollback by persistence).
+    ///
+    /// Eligibility (soundness): the child's problem must be a pure
+    /// conjunction — every negated atom ranges over an empty table and no
+    /// enforced key sees two rows — and the child's global condition must
+    /// extend the parent's. Then `IsConsistent(child)` is exactly
+    /// `parent-conjunction ∧ delta`, which the saturated state decides.
+    fn incremental_check(
+        &mut self,
+        parent: &CInstance,
+        child: &CInstance,
+    ) -> Option<Option<SaturatedState>> {
+        if !self.cfg.incremental {
+            return None;
+        }
+        // Below this size a fresh solve is cheaper than state bookkeeping.
+        if parent.global.len() < self.cfg.incremental_min_lits {
+            return None;
+        }
+        if !is_pure_conjunctive(child, self.cfg.enforce_keys) {
+            return None;
+        }
+        if child.global.len() < parent.global.len()
+            || child.global[..parent.global.len()] != parent.global[..]
+        {
+            return None;
+        }
+        let parent_key = state_key(exact_digest(parent), parent);
+        let mut seeded: Option<SaturatedState> = None;
+        let parent_state = match self.sat_memo.get(&parent_key) {
+            Some(s) => s,
+            None => {
+                // Child purity implies parent purity (tables and conditions
+                // only grow), so the parent's conjunction seeds a state. A
+                // `None` here means the parent itself is inconsistent;
+                // fall back (the caller's full check will agree).
+                debug_assert!(is_pure_conjunctive(parent, self.cfg.enforce_keys));
+                seeded = Some(SaturatedState::saturate(
+                    &parent.null_types(),
+                    &conj_lits(&parent.global),
+                )?);
+                seeded.as_ref().unwrap()
+            }
+        };
+        // The delta reduces through the same logic as a whole instance
+        // (`NotIn` over an empty table is vacuous, exactly as in
+        // `to_problem`).
+        let delta: Vec<Lit> = conj_lits(&child.global[parent.global.len()..]);
+        let extended = parent_state.extend(&child.null_types(), &delta);
+        if let Some(st) = seeded {
+            self.memoize_state(parent_key, st);
+        }
+        Some(extended)
+    }
+
+    fn memoize_state(&mut self, key: u64, st: SaturatedState) {
+        if self.sat_memo.len() < SAT_MEMO_CAP {
+            self.sat_memo.insert(key, st);
+        }
     }
 
     /// Runs Algorithm 1 on `formula` from `seed`/`seed_h` as the top level,
@@ -207,7 +383,9 @@ impl<'a> Chase<'a> {
             let mut res = Vec::new();
             for conj in tree_to_conj(q) {
                 if let Some(j) = self.add_to_ins(inst, &conj, h) {
-                    if self.consistent(&j) {
+                    // `j` extends `inst` by one materialized conjunction —
+                    // the incremental hot path.
+                    if self.consistent_step(inst, &j) {
                         res.push(j);
                     }
                 }

@@ -55,7 +55,7 @@ pub(crate) fn atom_to_lit(atom: &Atom, a: &Ent, b: &Ent) -> Lit {
     let lit = match op {
         CmpOp::Like => {
             let pattern = match b {
-                Ent::Const(Value::Str(p)) => p.clone(),
+                Ent::Const(Value::Str(p)) => p.to_string(),
                 other => panic!("LIKE pattern must be a string constant, got {other:?}"),
             };
             Lit::Like {

@@ -261,6 +261,39 @@ mod tests {
     }
 
     #[test]
+    fn cache_and_incremental_knobs_do_not_change_results() {
+        // The memo and the saturated-state extension are pure
+        // optimizations: accepted coverages must be identical with both
+        // paths forced on (min_lits 0) and both off, keys on and off.
+        let queries = [
+            "{ (b1) | exists d1 (Likes(d1, b1)) }",
+            "{ (x1, b1) | exists p1, x2, p2 . Serves(x1, b1, p1) and Serves(x2, b1, p2) and p1 > p2 }",
+            "{ (x1) | exists b1, p1 (Serves(x1, b1, p1) and (p1 > 3.0 or p1 < 1.0)) }",
+            "{ (b1) | exists x1, p1 (Serves(x1, b1, p1)) and forall d1 (not Likes(d1, b1)) }",
+        ];
+        for src in queries {
+            let t = tree(src);
+            for keys in [false, true] {
+                for v in [Variant::DisjEO, Variant::ConjAdd] {
+                    let fast = ChaseConfig::with_limit(7)
+                        .enforce_keys(keys)
+                        .incremental_min_lits(0);
+                    let cold = ChaseConfig::with_limit(7)
+                        .enforce_keys(keys)
+                        .solver_cache(false)
+                        .incremental(false);
+                    let a = run_variant(&t, v, &fast);
+                    let b = run_variant(&t, v, &cold);
+                    let ca: std::collections::BTreeSet<_> = a.coverages().cloned().collect();
+                    let cb: std::collections::BTreeSet<_> = b.coverages().cloned().collect();
+                    assert_eq!(ca, cb, "query {src} variant {v} keys {keys}");
+                    assert_eq!(a.raw_accepted, b.raw_accepted, "query {src} variant {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn conj_and_disj_agree_on_or_free_query() {
         let t = tree(
             "{ (x1, b1) | exists p1, x2, p2 . Serves(x1, b1, p1) and Serves(x2, b1, p2) and p1 > p2 }",

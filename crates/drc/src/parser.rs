@@ -310,7 +310,7 @@ impl<'a> Parser<'a> {
             Some(Tok::Star) => Ok(Term::Wildcard),
             Some(Tok::Int(v)) => Ok(Term::Const(Value::Int(v))),
             Some(Tok::Real(v)) => Ok(Term::Const(Value::real(v))),
-            Some(Tok::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
             Some(Tok::Ident(n)) => match self.lookup(&n) {
                 Some(v) => Ok(Term::Var(v)),
                 None => Err(QueryError::Parse {

@@ -9,7 +9,7 @@
 //! * With `enforce_keys`, key constraints add EGD clauses
 //!   `(⋁ₖ t.k ≠ u.k) ∨ t.a = u.a` so that no possible world violates a key.
 
-use cqi_solver::{Clause, Ent, Lit, Model, Outcome, Problem, SolverOp};
+use cqi_solver::{Clause, Ent, Lit, Model, Outcome, Problem, SolverCache, SolverOp};
 
 use crate::cinstance::{CInstance, Cond};
 
@@ -114,12 +114,70 @@ pub fn is_consistent(inst: &CInstance, enforce_keys: bool) -> bool {
     cqi_solver::is_sat(&to_problem(inst, enforce_keys))
 }
 
+/// `IsConsistent(I)` through a [`SolverCache`]: the instance's problem is
+/// canonicalized, so structurally isomorphic instances (different null
+/// naming, extra unconstrained nulls) share one solver run.
+pub fn is_consistent_cached(
+    inst: &CInstance,
+    enforce_keys: bool,
+    cache: &mut SolverCache,
+) -> bool {
+    cache.is_sat(&to_problem(inst, enforce_keys))
+}
+
 /// Consistency with a witness model for the labeled nulls.
 pub fn consistent_model(inst: &CInstance, enforce_keys: bool) -> Option<Model> {
     match cqi_solver::solve(&to_problem(inst, enforce_keys)) {
         Outcome::Sat(m) => Some(m),
         Outcome::Unsat => None,
     }
+}
+
+/// [`consistent_model`] through a [`SolverCache`]. Nulls mentioned by no
+/// condition may come back unassigned (ground with `Model::complete`).
+pub fn consistent_model_cached(
+    inst: &CInstance,
+    enforce_keys: bool,
+    cache: &mut SolverCache,
+) -> Option<Model> {
+    match cache.solve(&to_problem(inst, enforce_keys)) {
+        Outcome::Sat(m) => Some(m),
+        Outcome::Unsat => None,
+    }
+}
+
+/// Does `IsConsistent(inst)` reduce to a *pure conjunction* of literals —
+/// no clauses at all? True when every negated relational atom ranges over
+/// an empty table (no `≠`-disjunctions arise) and, if keys are enforced, no
+/// keyed relation holds two rows (no EGD clauses arise). Pure-conjunctive
+/// instances are eligible for the incremental
+/// [`cqi_solver::SaturatedState`] path in the chase.
+pub fn is_pure_conjunctive(inst: &CInstance, enforce_keys: bool) -> bool {
+    inst.global.iter().all(|c| match c {
+        Cond::Lit(_) => true,
+        Cond::NotIn { rel, .. } => inst.tables[rel.index()].is_empty(),
+    }) && (!enforce_keys
+        || inst
+            .schema
+            .keys()
+            .iter()
+            .all(|k| inst.tables[k.rel.index()].len() <= 1))
+}
+
+/// The conjunction a slice of pure-conjunctive conditions reduces to (the
+/// `Lit` conditions, in order). Callers must have checked
+/// [`is_pure_conjunctive`] on the owning instance; `NotIn` conditions over
+/// empty tables contribute nothing, exactly as in [`to_problem`]. Taking a
+/// slice lets the chase reduce a *delta* (the child conditions beyond the
+/// parent's) through the same logic as a whole instance.
+pub fn conj_lits(global: &[Cond]) -> Vec<Lit> {
+    global
+        .iter()
+        .filter_map(|c| match c {
+            Cond::Lit(l) => Some(l.clone()),
+            Cond::NotIn { .. } => None,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -246,6 +304,36 @@ mod tests {
         let m = consistent_model(&inst, true).unwrap();
         // The model must separate the bars (else prices would collide).
         assert_ne!(m.get(x1), m.get(x2));
+    }
+
+    #[test]
+    fn cached_model_agrees_and_completes() {
+        // The cached witness agrees with the uncached one on satisfying
+        // the conditions, and its contract — nulls mentioned by no
+        // condition come back unassigned — is discharged by
+        // `Model::complete`, exactly as grounding does.
+        let s = schema();
+        let mut inst = CInstance::new(s.clone());
+        let serves = s.rel_id("Serves").unwrap();
+        let pd = s.attr_domain(serves, 2);
+        let p1 = inst.fresh_null("p1", pd);
+        let p2 = inst.fresh_null("p2", pd);
+        let unused = inst.fresh_null("p3", pd);
+        inst.add_cond(Cond::Lit(Lit::cmp(p1, SolverOp::Gt, p2)));
+        let mut cache = cqi_solver::SolverCache::default();
+        for round in 0..2 {
+            let mut m = consistent_model_cached(&inst, true, &mut cache).unwrap();
+            assert!(m.get(p1).unwrap().as_f64() > m.get(p2).unwrap().as_f64());
+            m.complete(&inst.null_types());
+            assert!(m.get(unused).is_some(), "complete() grounds unmentioned nulls");
+            if round == 1 {
+                assert!(cache.stats.hits >= 1, "second call must hit");
+            }
+        }
+        // Unsat answers flow through the cache too.
+        inst.add_cond(Cond::Lit(Lit::cmp(p2, SolverOp::Gt, p1)));
+        assert!(consistent_model_cached(&inst, true, &mut cache).is_none());
+        assert!(consistent_model(&inst, true).is_none());
     }
 
     #[test]

@@ -1,9 +1,37 @@
-//! Constant values and a totally ordered floating-point wrapper.
+//! Constant values, string interning, and a totally ordered floating-point
+//! wrapper.
 
 use std::cmp::Ordering;
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::domain::DomainType;
+
+/// Process-wide string interner backing [`Value::Str`]. The chase clones
+/// c-instances (and therefore their constants) at every branch point;
+/// sharing one `Arc<str>` per distinct string turns those deep copies into
+/// refcount bumps and makes equality checks pointer-fast in the common case.
+static INTERNER: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+
+/// Upper bound on distinct interned strings; beyond it, new strings are
+/// allocated uninterned so a pathological workload cannot leak memory
+/// through the process-wide set.
+const INTERNER_CAP: usize = 1 << 20;
+
+/// Returns the canonical shared allocation for `s`.
+pub fn intern(s: &str) -> Arc<str> {
+    let set = INTERNER.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = set.lock().unwrap();
+    if let Some(hit) = set.get(s) {
+        return Arc::clone(hit);
+    }
+    let fresh: Arc<str> = Arc::from(s);
+    if set.len() < INTERNER_CAP {
+        set.insert(Arc::clone(&fresh));
+    }
+    fresh
+}
 
 /// A finite, non-NaN `f64` with a total order, usable as a map key.
 ///
@@ -75,12 +103,14 @@ impl From<f64> for R64 {
 pub enum Value {
     Int(i64),
     Real(R64),
-    Str(String),
+    /// Interned text (see [`intern`]): cloning is a refcount bump, so chase
+    /// branching never deep-copies string payloads.
+    Str(Arc<str>),
 }
 
 impl Value {
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(intern(s.as_ref()))
     }
 
     pub fn real(v: f64) -> Self {
@@ -147,13 +177,13 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::str(v)
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::str(v)
     }
 }
 
@@ -207,6 +237,29 @@ mod tests {
         assert_eq!(Value::Int(1).domain_type(), DomainType::Int);
         assert_eq!(Value::real(1.0).domain_type(), DomainType::Real);
         assert_eq!(Value::str("a").domain_type(), DomainType::Text);
+    }
+
+    #[test]
+    fn interned_strings_share_allocation() {
+        let a = Value::str("shared-payload");
+        let b = Value::str(String::from("shared-payload"));
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => {
+                assert!(Arc::ptr_eq(x, y), "equal strings must intern to one Arc");
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clone_is_refcount_bump() {
+        let a = Value::str("clone-me");
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::ent::{Ent, NullId};
 /// Comparison operators understood by the solver (negation is expressed by
 /// rewriting to the dual operator; `LIKE` keeps an explicit flag because it
 /// has no dual).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SolverOp {
     Lt,
     Le,
@@ -67,8 +67,9 @@ impl SolverOp {
     }
 }
 
-/// One atomic constraint.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// One atomic constraint. The derived order is arbitrary but total — it
+/// gives [`crate::canon`] a deterministic literal sort.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lit {
     /// `lhs op rhs`.
     Cmp { lhs: Ent, op: SolverOp, rhs: Ent },

@@ -39,19 +39,24 @@
 //! conservatively — never the reverse. Property tests compare against brute
 //! force on small domains.
 
+pub mod cache;
+pub mod canon;
 pub mod cond;
 pub mod dpll;
 pub mod ent;
 pub mod model;
 pub mod nfa;
 pub mod order;
+pub mod state;
 pub mod strings;
 pub mod theory;
 pub mod unionfind;
 
+pub use cache::{CacheStats, SolverCache};
 pub use cond::{Clause, Lit, Problem, SolverOp};
 pub use ent::{Ent, NullId};
 pub use model::Model;
+pub use state::SaturatedState;
 
 /// Satisfiability outcome.
 #[derive(Clone, Debug)]

@@ -83,7 +83,7 @@ impl Model {
                 let cand = match types[i] {
                     DomainType::Int => Value::Int(1000 + counter),
                     DomainType::Real => Value::real(1000.0 + counter as f64),
-                    DomainType::Text => Value::Str(format!("v{counter}")),
+                    DomainType::Text => Value::str(format!("v{counter}")),
                 };
                 counter += 1;
                 if !used.contains(&cand) {

@@ -1,5 +1,13 @@
 //! The conjunction decider: equality saturation (union-find) feeding the
 //! numeric [`crate::order`] and text [`crate::strings`] engines.
+//!
+//! The pipeline is factored into an incremental [`Saturation`]: literals are
+//! *asserted* one by one (interning nodes, unioning equalities, accumulating
+//! order/disequality/LIKE constraints), and [`Saturation::solve`] runs the
+//! class-level analysis over whatever has been asserted so far. A
+//! from-scratch [`check_conj`] is a thin wrapper; [`crate::state`] builds on
+//! the same struct to extend a parent instance's saturated state with delta
+//! literals instead of re-asserting the whole conjunction.
 
 use std::collections::HashMap;
 
@@ -26,226 +34,283 @@ fn kind_of_type(t: DomainType) -> Kind {
     }
 }
 
+/// Incrementally saturated conjunction state: interned nodes (nulls and
+/// constants), a union-find over asserted equalities, and the accumulated
+/// order edges, disequalities, and LIKE constraints. Cloning is cheap
+/// relative to a full re-assertion — `Vec`/`HashMap` copies, no solving.
+#[derive(Clone, Debug)]
+pub(crate) struct Saturation {
+    /// Domain type per labeled null; nulls occupy nodes `0..types.len()`
+    /// in the order they were registered (constants are appended after).
+    types: Vec<DomainType>,
+    const_nodes: HashMap<Value, usize>,
+    node_const: Vec<Option<Value>>,
+    node_kind: Vec<Kind>,
+    node_int: Vec<bool>,
+    uf: UnionFind,
+    /// `(a, b, strict)` meaning `a < b` (strict) or `a ≤ b`.
+    lt_edges: Vec<(usize, usize, bool)>,
+    neqs: Vec<(usize, usize)>,
+    likes: Vec<(usize, bool, String)>,
+    /// Node index per null id. Nulls registered after constants were
+    /// interned get nodes beyond the initial dense prefix.
+    null_node: Vec<usize>,
+}
+
+impl Saturation {
+    pub(crate) fn new(types: &[DomainType]) -> Saturation {
+        let n = types.len();
+        Saturation {
+            types: types.to_vec(),
+            const_nodes: HashMap::new(),
+            node_const: vec![None; n],
+            node_kind: types.iter().map(|t| kind_of_type(*t)).collect(),
+            node_int: types.iter().map(|t| *t == DomainType::Int).collect(),
+            uf: UnionFind::new(n),
+            lt_edges: Vec::new(),
+            neqs: Vec::new(),
+            likes: Vec::new(),
+            null_node: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn num_nulls(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Registers nulls added since this state was built. `types` is the
+    /// *full* new type vector; the prefix must match the existing one.
+    pub(crate) fn grow_types(&mut self, types: &[DomainType]) {
+        debug_assert!(types.len() >= self.types.len());
+        debug_assert_eq!(&types[..self.types.len()], self.types.as_slice());
+        for t in &types[self.types.len()..] {
+            let node = self.uf.push();
+            self.node_const.push(None);
+            self.node_kind.push(kind_of_type(*t));
+            self.node_int.push(*t == DomainType::Int);
+            self.null_node.push(node);
+            self.types.push(*t);
+        }
+    }
+
+    fn intern(&mut self, e: &Ent) -> usize {
+        match e {
+            Ent::Null(id) => self.null_node[id.index()],
+            Ent::Const(v) => match self.const_nodes.get(v) {
+                Some(idx) => *idx,
+                None => {
+                    let idx = self.uf.push();
+                    self.const_nodes.insert(v.clone(), idx);
+                    self.node_const.push(Some(v.clone()));
+                    self.node_kind.push(kind_of_type(v.domain_type()));
+                    self.node_int.push(false); // a constant does not force integrality
+                    idx
+                }
+            },
+        }
+    }
+
+    /// Asserts one literal. Returns `false` when the literal (or its
+    /// interaction with node kinds) is refuted outright — the state is then
+    /// definitively unsatisfiable. Type-mismatched comparisons (number vs
+    /// text) are unsatisfiable rather than errors: they can arise
+    /// transiently inside DPLL branches.
+    pub(crate) fn assert_lit(&mut self, lit: &Lit) -> bool {
+        match lit {
+            Lit::Cmp { lhs, op, rhs } => {
+                // Constant folding.
+                if let (Ent::Const(a), Ent::Const(b)) = (lhs, rhs) {
+                    return matches!(op.eval(a, b), Some(true)); // false or incomparable types refute
+                }
+                let a = self.intern(lhs);
+                let b = self.intern(rhs);
+                if self.node_kind[a] != self.node_kind[b] {
+                    return false; // comparing text with number
+                }
+                match op {
+                    SolverOp::Eq => {
+                        self.uf.union(a, b);
+                    }
+                    SolverOp::Ne => self.neqs.push((a, b)),
+                    SolverOp::Lt => self.lt_edges.push((a, b, true)),
+                    SolverOp::Le => self.lt_edges.push((a, b, false)),
+                    SolverOp::Gt => self.lt_edges.push((b, a, true)),
+                    SolverOp::Ge => self.lt_edges.push((b, a, false)),
+                }
+                true
+            }
+            Lit::Like { negated, ent, pattern } => match ent {
+                Ent::Const(v) => match v {
+                    Value::Str(s) => crate::nfa::like_match(pattern, s) != *negated,
+                    _ => false, // LIKE on a number
+                },
+                Ent::Null(_) => {
+                    let a = self.intern(ent);
+                    if self.node_kind[a] != Kind::Text {
+                        return false;
+                    }
+                    self.likes.push((a, *negated, pattern.clone()));
+                    true
+                }
+            },
+        }
+    }
+
+    /// Runs the class-level analysis over everything asserted so far:
+    /// equality classes, clash detection, numeric/text split, and the
+    /// [`crate::order`]/[`crate::strings`] engines; assembles a per-null
+    /// model on success.
+    #[allow(clippy::needless_range_loop)] // node/class index arithmetic
+    pub(crate) fn solve(&mut self) -> Option<Model> {
+        let total = self.uf.len();
+        let (class_of, num_classes) = self.uf.classes();
+
+        // Per-class attributes; detect clashes.
+        let mut class_pin: Vec<Option<Value>> = vec![None; num_classes];
+        let mut class_kind: Vec<Option<Kind>> = vec![None; num_classes];
+        let mut class_int: Vec<bool> = vec![false; num_classes];
+        for node in 0..total {
+            let c = class_of[node];
+            match class_kind[c] {
+                None => class_kind[c] = Some(self.node_kind[node]),
+                Some(k) if k != self.node_kind[node] => return None, // text = number
+                _ => {}
+            }
+            if self.node_int[node] {
+                class_int[c] = true;
+            }
+            if let Some(v) = &self.node_const[node] {
+                match &class_pin[c] {
+                    None => class_pin[c] = Some(v.clone()),
+                    Some(prev) => {
+                        // Two constants merged: equal is fine (same node by
+                        // interning), numerically-equal Int/Real also fine.
+                        if prev.try_cmp(v) != Some(std::cmp::Ordering::Equal) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Disequalities inside one class are immediately unsatisfiable.
+        for &(a, b) in &self.neqs {
+            if class_of[a] == class_of[b] {
+                return None;
+            }
+        }
+
+        // Split classes into numeric and text subproblems.
+        let mut num_idx: Vec<Option<usize>> = vec![None; num_classes];
+        let mut text_idx: Vec<Option<usize>> = vec![None; num_classes];
+        let mut num_classes_list: Vec<usize> = Vec::new();
+        let mut text_classes_list: Vec<usize> = Vec::new();
+        for c in 0..num_classes {
+            match class_kind[c] {
+                Some(Kind::Num) | None => {
+                    num_idx[c] = Some(num_classes_list.len());
+                    num_classes_list.push(c);
+                }
+                Some(Kind::Text) => {
+                    text_idx[c] = Some(text_classes_list.len());
+                    text_classes_list.push(c);
+                }
+            }
+        }
+
+        let mut op_num = OrderProblem::new(num_classes_list.len());
+        for (i, &c) in num_classes_list.iter().enumerate() {
+            op_num.int_class[i] = class_int[c];
+            op_num.pinned[i] = class_pin[c].as_ref().and_then(|v| v.as_f64());
+        }
+        let mut op_text = TextProblem::new(text_classes_list.len());
+        for (i, &c) in text_classes_list.iter().enumerate() {
+            op_text.pinned[i] = class_pin[c].as_ref().and_then(|v| match v {
+                Value::Str(s) => Some(s.to_string()),
+                _ => None,
+            });
+        }
+
+        for &(a, b, strict) in &self.lt_edges {
+            let (ca, cb) = (class_of[a], class_of[b]);
+            match (num_idx[ca], num_idx[cb]) {
+                (Some(i), Some(j)) => {
+                    if strict && i == j {
+                        return None; // x < x
+                    }
+                    op_num.edges.push(OrderEdge { from: i, to: j, strict });
+                }
+                _ => match (text_idx[ca], text_idx[cb]) {
+                    (Some(i), Some(j)) => {
+                        if strict && i == j {
+                            return None;
+                        }
+                        op_text.edges.push(OrderEdge { from: i, to: j, strict });
+                    }
+                    _ => return None, // mixed kinds (already guarded, defensive)
+                },
+            }
+        }
+        for &(a, b) in &self.neqs {
+            let (ca, cb) = (class_of[a], class_of[b]);
+            match (num_idx[ca], num_idx[cb]) {
+                (Some(i), Some(j)) => op_num.neqs.push((i, j)),
+                _ => {
+                    if let (Some(i), Some(j)) = (text_idx[ca], text_idx[cb]) {
+                        op_text.neqs.push((i, j));
+                    }
+                    // number ≠ text holds vacuously
+                }
+            }
+        }
+        for (a, neg, pat) in &self.likes {
+            let c = class_of[*a];
+            match text_idx[c] {
+                Some(i) => op_text.likes[i].push((*neg, pat.clone())),
+                None => return None,
+            }
+        }
+
+        // Solve both sides.
+        let num_vals = crate::order::solve_order(&op_num)?;
+        let text_vals = solve_text(&op_text)?;
+
+        // Assemble the per-null model.
+        let n = self.types.len();
+        let mut values: Vec<Option<Value>> = vec![None; n];
+        for null in 0..n {
+            let c = class_of[self.null_node[null]];
+            let v = if let Some(i) = num_idx[c] {
+                let x = num_vals[i];
+                if self.types[null] == DomainType::Int {
+                    Value::Int(x as i64)
+                } else {
+                    Value::real(x)
+                }
+            } else if let Some(i) = text_idx[c] {
+                Value::str(&text_vals[i])
+            } else {
+                continue;
+            };
+            values[null] = Some(v);
+        }
+        Some(Model::new(values))
+    }
+}
+
 /// Decides a pure conjunction of literals; returns a model on success.
 ///
 /// `types[n]` gives each null's domain type. Type-mismatched comparisons
 /// (number vs text) are unsatisfiable rather than errors: they can arise
 /// transiently inside DPLL branches.
 pub fn check_conj(types: &[DomainType], lits: &[Lit]) -> Option<Model> {
-    // ---- 1. intern nodes: nulls 0..n, constants appended.
-    let n = types.len();
-    let mut const_nodes: HashMap<Value, usize> = HashMap::new();
-    let mut node_const: Vec<Option<Value>> = vec![None; n];
-    let mut node_kind: Vec<Kind> = types.iter().map(|t| kind_of_type(*t)).collect();
-    let mut node_int: Vec<bool> = types.iter().map(|t| *t == DomainType::Int).collect();
-    let mut uf = UnionFind::new(n);
-    let mut intern = |e: &Ent,
-                      uf: &mut UnionFind,
-                      node_const: &mut Vec<Option<Value>>,
-                      node_kind: &mut Vec<Kind>,
-                      node_int: &mut Vec<bool>|
-     -> usize {
-        match e {
-            Ent::Null(id) => id.index(),
-            Ent::Const(v) => *const_nodes.entry(v.clone()).or_insert_with(|| {
-                let idx = uf.push();
-                node_const.push(Some(v.clone()));
-                node_kind.push(kind_of_type(v.domain_type()));
-                node_int.push(false); // a constant does not force integrality
-                idx
-            }),
-        }
-    };
-
-    // ---- 2. canonicalize literals into node-level constraints.
-    // (a, b, strict) meaning a < b or a ≤ b.
-    let mut lt_edges: Vec<(usize, usize, bool)> = Vec::new();
-    let mut eqs: Vec<(usize, usize)> = Vec::new();
-    let mut neqs: Vec<(usize, usize)> = Vec::new();
-    let mut likes: Vec<(usize, bool, String)> = Vec::new();
-
+    let mut sat = Saturation::new(types);
     for lit in lits {
-        match lit {
-            Lit::Cmp { lhs, op, rhs } => {
-                // Constant folding.
-                if let (Ent::Const(a), Ent::Const(b)) = (lhs, rhs) {
-                    match op.eval(a, b) {
-                        Some(true) => continue,
-                        _ => return None, // false or incomparable types
-                    }
-                }
-                let a = intern(lhs, &mut uf, &mut node_const, &mut node_kind, &mut node_int);
-                let b = intern(rhs, &mut uf, &mut node_const, &mut node_kind, &mut node_int);
-                if node_kind[a] != node_kind[b] {
-                    return None; // comparing text with number
-                }
-                match op {
-                    SolverOp::Eq => eqs.push((a, b)),
-                    SolverOp::Ne => neqs.push((a, b)),
-                    SolverOp::Lt => lt_edges.push((a, b, true)),
-                    SolverOp::Le => lt_edges.push((a, b, false)),
-                    SolverOp::Gt => lt_edges.push((b, a, true)),
-                    SolverOp::Ge => lt_edges.push((b, a, false)),
-                }
-            }
-            Lit::Like { negated, ent, pattern } => match ent {
-                Ent::Const(v) => match v {
-                    Value::Str(s) => {
-                        if crate::nfa::like_match(pattern, s) == *negated {
-                            return None;
-                        }
-                    }
-                    _ => return None, // LIKE on a number
-                },
-                Ent::Null(_) => {
-                    let a =
-                        intern(ent, &mut uf, &mut node_const, &mut node_kind, &mut node_int);
-                    if node_kind[a] != Kind::Text {
-                        return None;
-                    }
-                    likes.push((a, *negated, pattern.clone()));
-                }
-            },
-        }
-    }
-
-    // ---- 3. equality saturation.
-    for (a, b) in eqs {
-        uf.union(a, b);
-    }
-
-    let total = uf.len();
-    let (class_of, num_classes) = uf.classes();
-
-    // Per-class attributes; detect clashes.
-    let mut class_pin: Vec<Option<Value>> = vec![None; num_classes];
-    let mut class_kind: Vec<Option<Kind>> = vec![None; num_classes];
-    let mut class_int: Vec<bool> = vec![false; num_classes];
-    for node in 0..total {
-        let c = class_of[node];
-        match class_kind[c] {
-            None => class_kind[c] = Some(node_kind[node]),
-            Some(k) if k != node_kind[node] => return None, // text = number
-            _ => {}
-        }
-        if node_int[node] {
-            class_int[c] = true;
-        }
-        if let Some(v) = &node_const[node] {
-            match &class_pin[c] {
-                None => class_pin[c] = Some(v.clone()),
-                Some(prev) => {
-                    // Two constants merged: equal is fine (same node by
-                    // interning), numerically-equal Int/Real also fine.
-                    if prev.try_cmp(v) != Some(std::cmp::Ordering::Equal) {
-                        return None;
-                    }
-                }
-            }
-        }
-    }
-
-    // Disequalities inside one class are immediately unsatisfiable.
-    for &(a, b) in &neqs {
-        if class_of[a] == class_of[b] {
+        if !sat.assert_lit(lit) {
             return None;
         }
     }
-
-    // ---- 4. split classes into numeric and text subproblems.
-    let mut num_idx: Vec<Option<usize>> = vec![None; num_classes];
-    let mut text_idx: Vec<Option<usize>> = vec![None; num_classes];
-    let mut num_classes_list: Vec<usize> = Vec::new();
-    let mut text_classes_list: Vec<usize> = Vec::new();
-    for c in 0..num_classes {
-        match class_kind[c] {
-            Some(Kind::Num) | None => {
-                num_idx[c] = Some(num_classes_list.len());
-                num_classes_list.push(c);
-            }
-            Some(Kind::Text) => {
-                text_idx[c] = Some(text_classes_list.len());
-                text_classes_list.push(c);
-            }
-        }
-    }
-
-    let mut op_num = OrderProblem::new(num_classes_list.len());
-    for (i, &c) in num_classes_list.iter().enumerate() {
-        op_num.int_class[i] = class_int[c];
-        op_num.pinned[i] = class_pin[c].as_ref().and_then(|v| v.as_f64());
-    }
-    let mut op_text = TextProblem::new(text_classes_list.len());
-    for (i, &c) in text_classes_list.iter().enumerate() {
-        op_text.pinned[i] = class_pin[c].as_ref().and_then(|v| match v {
-            Value::Str(s) => Some(s.clone()),
-            _ => None,
-        });
-    }
-
-    for (a, b, strict) in lt_edges {
-        let (ca, cb) = (class_of[a], class_of[b]);
-        match (num_idx[ca], num_idx[cb]) {
-            (Some(i), Some(j)) => {
-                if strict && i == j {
-                    return None; // x < x
-                }
-                op_num.edges.push(OrderEdge { from: i, to: j, strict });
-            }
-            _ => match (text_idx[ca], text_idx[cb]) {
-                (Some(i), Some(j)) => {
-                    if strict && i == j {
-                        return None;
-                    }
-                    op_text.edges.push(OrderEdge { from: i, to: j, strict });
-                }
-                _ => return None, // mixed kinds (already guarded, defensive)
-            },
-        }
-    }
-    for (a, b) in neqs {
-        let (ca, cb) = (class_of[a], class_of[b]);
-        match (num_idx[ca], num_idx[cb]) {
-            (Some(i), Some(j)) => op_num.neqs.push((i, j)),
-            _ => {
-                if let (Some(i), Some(j)) = (text_idx[ca], text_idx[cb]) {
-                    op_text.neqs.push((i, j));
-                }
-                // number ≠ text holds vacuously
-            }
-        }
-    }
-    for (a, neg, pat) in likes {
-        let c = class_of[a];
-        match text_idx[c] {
-            Some(i) => op_text.likes[i].push((neg, pat)),
-            None => return None,
-        }
-    }
-
-    // ---- 5. solve both sides.
-    let num_vals = crate::order::solve_order(&op_num)?;
-    let text_vals = solve_text(&op_text)?;
-
-    // ---- 6. assemble the per-null model.
-    let mut values: Vec<Option<Value>> = vec![None; n];
-    for null in 0..n {
-        let c = class_of[null];
-        let v = if let Some(i) = num_idx[c] {
-            let x = num_vals[i];
-            if types[null] == DomainType::Int {
-                Value::Int(x as i64)
-            } else {
-                Value::real(x)
-            }
-        } else if let Some(i) = text_idx[c] {
-            Value::Str(text_vals[i].clone())
-        } else {
-            continue;
-        };
-        values[null] = Some(v);
-    }
-    Some(Model::new(values))
+    sat.solve()
 }
 
 /// Convenience wrapper used by tests.

@@ -264,7 +264,7 @@ impl P {
             Some(Tok::Str(s)) => {
                 let s = s.clone();
                 self.i += 1;
-                Ok(SqlTerm::Const(Value::Str(s)))
+                Ok(SqlTerm::Const(Value::str(s)))
             }
             Some(Tok::Ident(_)) => Ok(SqlTerm::Col(self.col_ref()?)),
             _ => Err(self.err("expected a term")),

@@ -94,6 +94,69 @@ fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher { last_mean_ns: 0.0 };
     f(&mut b);
     println!("bench {label:<48} {:>12}/iter", human(b.last_mean_ns));
+    record_json(label, b.last_mean_ns);
+}
+
+/// When `BENCH_JSON=<path>` is set, every benchmark result is also written
+/// to that file as a JSON array of `{"id", "mean_ns"}` objects. The file is
+/// rewritten after each benchmark so it is valid JSON at all times (CI
+/// uploads it as a perf-trajectory artifact). Bench binaries run as
+/// separate processes under `cargo bench`, so on first write each process
+/// seeds its result list from the existing file and replaces entries by id
+/// — results from other bench targets survive.
+fn record_json(label: &str, mean_ns: f64) {
+    use std::sync::Mutex;
+    static RESULTS: Mutex<Option<Vec<(String, f64)>>> = Mutex::new(None);
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let mut guard = RESULTS.lock().unwrap();
+    let results = guard.get_or_insert_with(|| parse_results(&path));
+    if let Some(slot) = results.iter_mut().find(|(id, _)| id == label) {
+        slot.1 = mean_ns;
+    } else {
+        results.push((label.to_owned(), mean_ns));
+    }
+    let mut out = String::from("[\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  {{\"id\": \"{escaped}\", \"mean_ns\": {ns:.1}}}"));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write BENCH_JSON={path}: {e}");
+    }
+}
+
+/// Reads `(id, mean_ns)` pairs back out of a file this module wrote (one
+/// entry per line). Anything unparsable is skipped — worst case a stale
+/// entry is dropped, never a crash.
+fn parse_results(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"id\": \"") else {
+            continue;
+        };
+        let Some((id, rest)) = rest.split_once("\", \"mean_ns\": ") else {
+            continue;
+        };
+        let num = rest.trim_end_matches(['}', ',']);
+        if let Ok(ns) = num.parse::<f64>() {
+            let unescaped = id.replace("\\\"", "\"").replace("\\\\", "\\");
+            out.push((unescaped, ns));
+        }
+    }
+    out
 }
 
 /// Top-level driver, mirroring `criterion::Criterion`.
