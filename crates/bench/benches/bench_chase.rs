@@ -1,0 +1,111 @@
+//! Thread-scaling smoke for the parallel chase frontier (`cqi-runtime`):
+//! representative `fig8` (Beers) and `fig11` (TPC-H) workloads at 1 thread
+//! vs. all available threads, plus the `parallel_min_frontier` spill knob.
+//!
+//! CI runs this with `BENCH_JSON=BENCH_chase.json`, so the 1-vs-N ratio is
+//! tracked as a perf-trajectory artifact. On a single-core host the two
+//! configurations should be at parity (the determinism guarantee makes
+//! parallelism a pure wall-clock knob); on a ≥4-core runner the N-thread
+//! rows are expected to be ≥2x faster on the wide-frontier workloads.
+//! `CQI_BENCH_THREADS` overrides the N-thread budget (default: all cores).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqi_core::{run_variant, ChaseConfig, Variant};
+use cqi_datasets::{beers_queries, tpch_queries};
+use cqi_drc::SyntaxTree;
+
+/// The N of the 1-vs-N comparison: `CQI_BENCH_THREADS` or every core.
+fn scaling_threads() -> usize {
+    std::env::var("CQI_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn bench_fig8_thread_scaling(c: &mut Criterion) {
+    let queries = beers_queries();
+    let n = cqi_runtime::resolve_threads(scaling_threads());
+    let mut g = c.benchmark_group("chase_threads_fig8");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    // Conj-Add over ∀/∨-heavy queries: many conjunctive trees plus *-Add
+    // re-seeds = a wide root-job batch, the chase's outer parallel axis.
+    for name in ["Q2B", "Q3B", "Q4B"] {
+        let dq = queries.iter().find(|q| q.name == name).unwrap();
+        let tree = SyntaxTree::new(dq.query.clone());
+        for (label, threads) in [("threads=1".to_owned(), 1usize), (format!("threads=all({n})"), n)] {
+            g.bench_with_input(
+                BenchmarkId::new(label, name),
+                &tree,
+                |b, tree| {
+                    let cfg = ChaseConfig::with_limit(8)
+                        .enforce_keys(true)
+                        .timeout(Duration::from_secs(10))
+                        .threads(threads);
+                    b.iter(|| black_box(run_variant(black_box(tree), Variant::ConjAdd, &cfg)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig11_thread_scaling(c: &mut Criterion) {
+    let queries = tpch_queries();
+    let n = cqi_runtime::resolve_threads(scaling_threads());
+    let mut g = c.benchmark_group("chase_threads_fig11");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    let subset: Vec<_> = queries.into_iter().take(3).collect();
+    for dq in &subset {
+        let tree = SyntaxTree::new(dq.query.clone());
+        for (label, threads) in [("threads=1".to_owned(), 1usize), (format!("threads=all({n})"), n)] {
+            g.bench_with_input(
+                BenchmarkId::new(label, &dq.name),
+                &tree,
+                |b, tree| {
+                    let cfg = ChaseConfig::with_limit(10)
+                        .timeout(Duration::from_secs(10))
+                        .threads(threads);
+                    b.iter(|| black_box(run_variant(black_box(tree), Variant::ConjAdd, &cfg)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// The spill knob: an over-high threshold forces every wave inline (the
+/// parallel scheduler degenerates to sequential + dedupe-set overhead), so
+/// the delta between `spill=0` and `spill=max` bounds the wave fan-out win.
+fn bench_spill_threshold(c: &mut Criterion) {
+    let queries = beers_queries();
+    let dq = queries.iter().find(|q| q.name == "Q2B").unwrap();
+    let tree = SyntaxTree::new(dq.query.clone());
+    let n = cqi_runtime::resolve_threads(scaling_threads());
+    let mut g = c.benchmark_group("chase_spill_threshold");
+    g.sample_size(10);
+    for (label, min_frontier) in [("spill=0", 0usize), ("spill=4", 4), ("spill=max", usize::MAX)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &tree, |b, tree| {
+            let cfg = ChaseConfig::with_limit(8)
+                .enforce_keys(true)
+                .timeout(Duration::from_secs(10))
+                .threads(n)
+                .parallel_min_frontier(min_frontier);
+            b.iter(|| black_box(run_variant(black_box(tree), Variant::DisjEO, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8_thread_scaling,
+    bench_fig11_thread_scaling,
+    bench_spill_threshold
+);
+criterion_main!(benches);

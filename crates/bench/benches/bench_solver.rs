@@ -159,7 +159,8 @@ fn bench_incremental_delta(c: &mut Criterion) {
         .collect();
     // A delta the parent's witness model already satisfies (fast path)…
     let delta_fast = [Lit::cmp(NullId(0), SolverOp::Ge, NullId(n as u32 - 1))];
-    // …and one that forces a re-solve of the class-level analysis.
+    // …one that forces a re-solve *and* shifts the Bellman-Ford base (a
+    // first pinned constant), so the warm start cannot engage…
     let delta_solve = [Lit::cmp(NullId(n as u32 - 1), SolverOp::Gt, Value::real(1000.0))];
     let state = SaturatedState::saturate(&types, &parent).unwrap();
     let mut g = c.benchmark_group("incremental_single_delta");
@@ -172,6 +173,27 @@ fn bench_incremental_delta(c: &mut Criterion) {
             b.iter(|| black_box(state.extend(black_box(&types), black_box(delta))));
         });
     }
+    // …and the chase's bread-and-butter delta: a fresh null appended to the
+    // order chain (no new constants, base unchanged), where the re-solve
+    // path warm-starts Bellman-Ford from the parent's values and converges
+    // in O(1) relaxation rounds instead of O(chain length).
+    let types_grown = vec![DomainType::Real; n + 1];
+    let delta_grow = [Lit::cmp(NullId(n as u32 - 1), SolverOp::Gt, NullId(n as u32))];
+    let full_grown: Vec<Lit> = parent.iter().chain(&delta_grow).cloned().collect();
+    g.bench_with_input(
+        BenchmarkId::new("cold", "resolve_chain_grow"),
+        &full_grown,
+        |b, full| {
+            b.iter(|| black_box(theory::check_conj(black_box(&types_grown), black_box(full))));
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("extend", "resolve_chain_grow"),
+        &delta_grow,
+        |b, delta| {
+            b.iter(|| black_box(state.extend(black_box(&types_grown), black_box(&delta[..]))));
+        },
+    );
     g.finish();
 }
 

@@ -21,6 +21,10 @@ struct Opts {
     beers_limit: usize,
     tpch_limit: usize,
     quick: bool,
+    /// Chase worker budget (`ChaseConfig::threads`): 1 = sequential
+    /// (default), 0 = all cores. Parallel runs produce identical figures —
+    /// the runtime's determinism guarantee — so this only moves wall-clock.
+    threads: usize,
     /// When set, every table/series is also written there as CSV plus a
     /// combined `figures.json` (machine-readable, CI-diffable).
     sink: Option<SeriesSink>,
@@ -32,6 +36,7 @@ fn parse_opts(args: &[String]) -> Opts {
         beers_limit: 10,
         tpch_limit: 15,
         quick: false,
+        threads: 1,
         sink: None,
     };
     let mut i = 0;
@@ -40,20 +45,33 @@ fn parse_opts(args: &[String]) -> Opts {
             "--timeout" => {
                 i += 1;
                 o.timeout = Duration::from_secs_f64(
-                    args[i].parse().expect("--timeout takes seconds"),
+                    args.get(i)
+                        .and_then(|a| a.parse().ok())
+                        .expect("--timeout takes seconds"),
                 );
             }
             "--limit" => {
                 i += 1;
-                let l: usize = args[i].parse().expect("--limit takes a number");
+                let l: usize = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .expect("--limit takes a number");
                 o.beers_limit = l;
                 o.tpch_limit = l;
             }
             "--quick" => o.quick = true,
+            "--threads" => {
+                i += 1;
+                o.threads = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .expect("--threads takes a number (0 = all cores)");
+            }
             "--out-dir" => {
                 i += 1;
                 o.sink = Some(
-                    SeriesSink::new(&args[i]).expect("--out-dir must be creatable"),
+                    SeriesSink::new(args.get(i).expect("--out-dir takes a directory"))
+                        .expect("--out-dir must be creatable"),
                 );
             }
             other => panic!("unknown option `{other}`"),
@@ -83,18 +101,40 @@ fn beers_cfg(o: &Opts) -> ChaseConfig {
     ChaseConfig::with_limit(o.beers_limit)
         .enforce_keys(true)
         .timeout(o.timeout)
+        .threads(o.threads)
 }
 
 fn tpch_cfg(o: &Opts) -> ChaseConfig {
     ChaseConfig::with_limit(o.tpch_limit)
         .enforce_keys(false)
         .timeout(o.timeout)
+        .threads(o.threads)
+}
+
+/// Records the run parameters — notably the thread budget — into
+/// `figures.json`, so emitted figures are attributable to a configuration.
+fn emit_run_config(o: &mut Opts, cmd: &str) {
+    let resolved = cqi_runtime::resolve_threads(o.threads);
+    let rows = vec![
+        vec!["command".to_owned(), cmd.to_owned()],
+        vec!["threads".to_owned(), o.threads.to_string()],
+        vec!["threads_resolved".to_owned(), resolved.to_string()],
+        vec!["timeout_s".to_owned(), format!("{}", o.timeout.as_secs_f64())],
+        vec!["beers_limit".to_owned(), o.beers_limit.to_string()],
+        vec!["tpch_limit".to_owned(), o.tpch_limit.to_string()],
+        vec!["quick".to_owned(), o.quick.to_string()],
+    ];
+    if let Some(sink) = o.sink.as_mut() {
+        sink.emit_table("Run configuration", &["key", "value"], &rows)
+            .expect("writing run configuration to --out-dir");
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let mut opts = parse_opts(&args[1.min(args.len())..]);
+    emit_run_config(&mut opts, cmd);
     match cmd {
         "table1" => table1(&mut opts),
         "fig8" | "fig10" => beers_figures(&mut opts),
@@ -124,7 +164,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: reproduce <table1|fig8|fig10|fig11|fig12|fig13|interactivity|table2|userstudy|cqneg|all> \
-                 [--timeout SECS] [--limit N] [--quick] [--out-dir DIR]"
+                 [--timeout SECS] [--limit N] [--quick] [--threads N] [--out-dir DIR]"
             );
             return;
         }
@@ -273,7 +313,8 @@ fn limit_sensitivity(o: &mut Opts, variant: Variant, figure: &str) {
     for limit in [6usize, 8, 10] {
         let cfg = ChaseConfig::with_limit(limit)
             .enforce_keys(true)
-            .timeout(o.timeout);
+            .timeout(o.timeout)
+            .threads(o.threads);
         eprintln!("{figure}: {} at limit {limit} ...", variant.name());
         let records = run_workload(&qs, &[variant], &cfg, false);
         emit_series(

@@ -10,6 +10,23 @@
 //! ([`cqi_instance::is_isomorphic`]), and the `limit` bound on instance size
 //! guarantees termination (Proposition 3.1 makes an unbounded search
 //! undecidable).
+//!
+//! ## Execution model (`cqi-runtime`)
+//!
+//! The *top-level* frontier of Algorithm 1 is a work-list of independent
+//! branch candidates, and expanding one candidate is a pure function of the
+//! candidate — all mutable state ([`WorkerCtx`]: solver memos, saturated
+//! states, sub-BFS results) only affects speed. [`Chase`] therefore routes
+//! the top-level loop through a [`cqi_runtime::FrontierScheduler`]:
+//! sequentially with one context when `ChaseConfig::threads <= 1`,
+//! wave-parallel over per-worker contexts otherwise, with the `visited`
+//! check backed by [`cqi_runtime::ShardedDedupe`] keyed on the
+//! [`signature`]/[`exact_digest`] iso-invariants. Multi-root runs (the
+//! `Conj-*` tree sets and the `*-Add` re-seeds) additionally fan out whole
+//! root searches across workers ([`Chase::run_roots`]). Results are merged
+//! in FIFO/job order, so parallel runs accept the *same instances in the
+//! same order* as sequential ones (asserted by
+//! `crates/core/tests/parallel_props.rs`).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -21,6 +38,10 @@ use cqi_instance::consistency::{
     conj_lits, is_consistent, is_consistent_cached, is_pure_conjunctive, to_problem,
 };
 use cqi_instance::{exact_digest, is_isomorphic, signature, CInstance, Cond};
+use cqi_runtime::{
+    parallel_for, Expansion, FrontierScheduler, FrontierTask, ParallelScheduler,
+    SequentialScheduler, SetKey,
+};
 use cqi_solver::canon::canonicalize;
 use cqi_solver::{CacheStats, Ent, Lit, SaturatedState, SolverCache};
 
@@ -28,43 +49,6 @@ use crate::config::ChaseConfig;
 use crate::conjtree::expand_disj_node;
 use crate::dnf::{has_quantifier, tree_to_conj};
 use crate::treesat::{atom_to_lit, Hom, SatCtx};
-
-/// One chase run (possibly over several trees, for the `Conj-*` and `*-Add`
-/// variants, which all feed the same accepted-instance log).
-pub struct Chase<'a> {
-    pub query: &'a Query,
-    pub cfg: &'a ChaseConfig,
-    /// Whether `Handle-Universal` may mint fresh labeled nulls
-    /// (the `EO` variants disable this).
-    pub universal_fresh: bool,
-    pub start: Instant,
-    deadline: Option<Instant>,
-    pub timed_out: bool,
-    done: bool,
-    /// Satisfying consistent instances accepted at the top level, with
-    /// acceptance timestamps (drives the §5.1 interactivity metrics).
-    pub accepted: Vec<(CInstance, Duration)>,
-    /// Memoized sub-BFS results keyed by (subtree, instance digest,
-    /// relevant homomorphism entries). The recursion re-derives identical
-    /// sub-searches constantly; this cache is the difference between
-    /// seconds and minutes on the harder difference queries.
-    bfs_memo: HashMap<(u64, u64, u64), Vec<CInstance>>,
-    /// Memoized `IsConsistent` answers by instance digest.
-    consist_memo: HashMap<u64, bool>,
-    /// Canonical-problem memo shared across the whole run: isomorphic
-    /// subproblems (renamed nulls, extra unconstrained nulls) are decided
-    /// once (`cfg.solver_cache`).
-    solver_cache: SolverCache,
-    /// Saturated theory state per (pure-conjunctive) instance digest,
-    /// extended by delta literals on single chase steps
-    /// (`cfg.incremental`).
-    sat_memo: HashMap<u64, SaturatedState>,
-    /// Chase steps decided by extending the parent's saturated state.
-    pub incr_extends: usize,
-    /// Chase steps that fell back to the full check (keys, negative
-    /// conditions, or no reusable parent state).
-    pub incr_fallbacks: usize,
-}
 
 /// Bound on retained saturated states (each is small — vectors over the
 /// instance's nulls/literals — but runs can visit millions of instances).
@@ -85,9 +69,86 @@ fn state_key(digest: u64, inst: &CInstance) -> u64 {
     hash_of(&(digest, inst.null_types()))
 }
 
+/// Per-worker mutable chase state: every memo the search consults, plus the
+/// worker-local slice of the run counters. None of it changes *answers* —
+/// only how fast they are reached — which is what makes frontier candidates
+/// expandable on any worker while keeping parallel output identical to
+/// sequential.
+pub(crate) struct WorkerCtx {
+    /// Memoized sub-BFS results keyed by (subtree, instance digest,
+    /// relevant homomorphism entries). The recursion re-derives identical
+    /// sub-searches constantly; this cache is the difference between
+    /// seconds and minutes on the harder difference queries.
+    bfs_memo: HashMap<(u64, u64, u64), Vec<CInstance>>,
+    /// Memoized `IsConsistent` answers by instance digest.
+    consist_memo: HashMap<u64, bool>,
+    /// Canonical-problem memo: isomorphic subproblems (renamed nulls, extra
+    /// unconstrained nulls) are decided once (`cfg.solver_cache`).
+    solver_cache: SolverCache,
+    /// Saturated theory state per (pure-conjunctive) instance digest,
+    /// extended by delta literals on single chase steps
+    /// (`cfg.incremental`).
+    sat_memo: HashMap<u64, SaturatedState>,
+    /// Chase steps decided by extending the parent's saturated state.
+    incr_extends: usize,
+    /// Chase steps that fell back to the full check (keys, negative
+    /// conditions, or no reusable parent state).
+    incr_fallbacks: usize,
+    /// This worker observed the wall-clock deadline.
+    timed_out: bool,
+}
+
+impl WorkerCtx {
+    fn new(cfg: &ChaseConfig) -> WorkerCtx {
+        WorkerCtx {
+            bfs_memo: HashMap::new(),
+            consist_memo: HashMap::new(),
+            solver_cache: SolverCache::new(cfg.solver_cache_capacity),
+            sat_memo: HashMap::new(),
+            incr_extends: 0,
+            incr_fallbacks: 0,
+            timed_out: false,
+        }
+    }
+}
+
+/// One top-level root search: a (sub)formula chased from a seed instance
+/// under pre-bound output variables. `run_variant` batches these —
+/// one per conjunctive tree, plus one per (uncovered leaf × tree) in the
+/// `*-Add` phase — and [`Chase::run_roots`] fans the batch out across
+/// workers when the config allows.
+pub struct RootJob<'f> {
+    pub formula: &'f Formula,
+    pub seed: CInstance,
+    pub h: Hom,
+}
+
+/// One chase run (possibly over several trees, for the `Conj-*` and `*-Add`
+/// variants, which all feed the same accepted-instance log).
+pub struct Chase<'a> {
+    pub query: &'a Query,
+    pub cfg: &'a ChaseConfig,
+    /// Whether `Handle-Universal` may mint fresh labeled nulls
+    /// (the `EO` variants disable this).
+    pub universal_fresh: bool,
+    pub start: Instant,
+    deadline: Option<Instant>,
+    pub timed_out: bool,
+    done: bool,
+    /// Satisfying consistent instances accepted at the top level, with
+    /// acceptance timestamps (drives the §5.1 interactivity metrics).
+    pub accepted: Vec<(CInstance, Duration)>,
+    /// Resolved thread budget (`cfg.threads`, 0 ⇒ available parallelism).
+    threads: usize,
+    /// One memo context per worker; `ctxs[0]` doubles as the sequential
+    /// context.
+    ctxs: Vec<WorkerCtx>,
+}
+
 impl<'a> Chase<'a> {
     pub fn new(query: &'a Query, cfg: &'a ChaseConfig, universal_fresh: bool) -> Chase<'a> {
         let start = Instant::now();
+        let threads = cfg.resolved_threads().max(1);
         Chase {
             query,
             cfg,
@@ -97,27 +158,267 @@ impl<'a> Chase<'a> {
             timed_out: false,
             done: false,
             accepted: Vec::new(),
-            bfs_memo: HashMap::new(),
-            consist_memo: HashMap::new(),
-            solver_cache: SolverCache::new(cfg.solver_cache_capacity),
-            sat_memo: HashMap::new(),
-            incr_extends: 0,
-            incr_fallbacks: 0,
+            threads,
+            ctxs: (0..threads).map(|_| WorkerCtx::new(cfg)).collect(),
         }
     }
 
-    /// Hit/miss/eviction counters of the canonical-problem memo.
+    /// Hit/miss/eviction counters of the canonical-problem memo, summed
+    /// over all worker contexts.
     pub fn solver_cache_stats(&self) -> CacheStats {
-        self.solver_cache.stats
+        let mut total = CacheStats::default();
+        for c in &self.ctxs {
+            total.hits += c.solver_cache.stats.hits;
+            total.misses += c.solver_cache.stats.misses;
+            total.evictions += c.solver_cache.stats.evictions;
+        }
+        total
     }
 
-    fn stopped(&mut self) -> bool {
+    /// Chase steps decided by extending the parent's saturated state
+    /// (summed over workers).
+    pub fn incr_extends(&self) -> usize {
+        self.ctxs.iter().map(|c| c.incr_extends).sum()
+    }
+
+    /// Chase steps that fell back to the full consistency check (summed
+    /// over workers).
+    pub fn incr_fallbacks(&self) -> usize {
+        self.ctxs.iter().map(|c| c.incr_fallbacks).sum()
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Runs Algorithm 1 on `formula` from `seed`/`seed_h` as the top level,
+    /// logging accepted instances. A single root drives the frontier
+    /// scheduler directly (wave-parallel when `threads > 1`).
+    pub fn run_root(&mut self, formula: &Formula, seed: CInstance, seed_h: Hom) {
         if self.done {
+            return;
+        }
+        if self.deadline_passed() {
+            self.timed_out = true;
+            return;
+        }
+        let (i0, h0) = bind_free_vars(self.query, formula, seed, seed_h);
+        let task = RootTask {
+            query: self.query,
+            cfg: self.cfg,
+            universal_fresh: self.universal_fresh,
+            deadline: self.deadline,
+            formula,
+            h0: &h0,
+        };
+        let start = self.start;
+        let max = self.cfg.max_results;
+        let accepted = &mut self.accepted;
+        let mut done = false;
+        let mut sink = |inst: CInstance| {
+            accepted.push((inst, start.elapsed()));
+            if max.is_some_and(|m| accepted.len() >= m) {
+                done = true;
+                false
+            } else {
+                true
+            }
+        };
+        if self.threads <= 1 {
+            SequentialScheduler.drive(&task, &mut self.ctxs, vec![i0], &mut sink);
+        } else {
+            ParallelScheduler::new(self.cfg.parallel_min_frontier).drive(
+                &task,
+                &mut self.ctxs,
+                vec![i0],
+                &mut sink,
+            );
+        }
+        self.done |= done;
+        self.timed_out |= self.ctxs.iter().any(|c| c.timed_out);
+    }
+
+    /// Runs a batch of independent root searches. With a thread budget and
+    /// more than one job, whole roots are fanned out across workers (each
+    /// driven sequentially on its worker's context) and the accepted
+    /// instances are merged in job order — identical output to running the
+    /// jobs one by one.
+    pub fn run_roots(&mut self, jobs: Vec<RootJob<'_>>) {
+        if jobs.is_empty() || self.done {
+            return;
+        }
+        if self.threads > 1 && jobs.len() > 1 {
+            self.run_roots_parallel(jobs);
+        } else {
+            for job in jobs {
+                if self.timed_out || self.done {
+                    break;
+                }
+                self.run_root(job.formula, job.seed, job.h);
+            }
+        }
+    }
+
+    fn run_roots_parallel(&mut self, jobs: Vec<RootJob<'_>>) {
+        let query = self.query;
+        let cfg = self.cfg;
+        let universal_fresh = self.universal_fresh;
+        let deadline = self.deadline;
+        let max = cfg.max_results;
+        let start = self.start;
+        let per_job: Vec<Vec<(CInstance, Duration)>> =
+            parallel_for(&mut self.ctxs, &jobs, |ctx, _, job| {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    ctx.timed_out = true;
+                    return Vec::new();
+                }
+                let (i0, h0) =
+                    bind_free_vars(query, job.formula, job.seed.clone(), job.h.clone());
+                let task = RootTask {
+                    query,
+                    cfg,
+                    universal_fresh,
+                    deadline,
+                    formula: job.formula,
+                    h0: &h0,
+                };
+                let mut acc: Vec<(CInstance, Duration)> = Vec::new();
+                let mut sink = |inst: CInstance| {
+                    // Timestamp at the moment of acceptance, not at merge —
+                    // the §5.1 interactivity metrics read these.
+                    acc.push((inst, start.elapsed()));
+                    // No single job ever needs more than the global cap.
+                    max.is_none_or(|m| acc.len() < m)
+                };
+                SequentialScheduler.drive(&task, std::slice::from_mut(ctx), vec![i0], &mut sink);
+                acc
+            });
+        // Deterministic merge: job order, truncated at the global cap
+        // exactly where a sequential run would have stopped. (The log stays
+        // in job order; timestamps are wall-clock and may interleave across
+        // jobs, as they legitimately do.)
+        'merge: for acc in per_job {
+            for entry in acc {
+                self.accepted.push(entry);
+                if max.is_some_and(|m| self.accepted.len() >= m) {
+                    self.done = true;
+                    break 'merge;
+                }
+            }
+        }
+        self.timed_out |= self.ctxs.iter().any(|c| c.timed_out);
+    }
+
+}
+
+/// Lines 2–5 of Algorithm 1: bind unbound free variables to fresh labeled
+/// nulls.
+fn bind_free_vars(
+    query: &Query,
+    formula: &Formula,
+    mut inst: CInstance,
+    mut h: Hom,
+) -> (CInstance, Hom) {
+    h.resize(query.vars.len(), None);
+    for v in formula.free_vars() {
+        if h[v.index()].is_none() {
+            let d = query.var_domain(v);
+            let n = inst.fresh_null(query.var_name(v), d);
+            h[v.index()] = Some(Ent::Null(n));
+        }
+    }
+    (inst, h)
+}
+
+/// The top-level frontier of one root search, as a [`FrontierTask`]: admit
+/// by the size limit, dedupe by the [`signature`]/[`exact_digest`]
+/// iso-invariants with [`is_isomorphic`] confirming collisions, and expand
+/// via `Tree-SAT` + `IsConsistent` + `Tree-Chase` on the worker's context.
+struct RootTask<'t> {
+    query: &'t Query,
+    cfg: &'t ChaseConfig,
+    universal_fresh: bool,
+    deadline: Option<Instant>,
+    formula: &'t Formula,
+    h0: &'t Hom,
+}
+
+impl FrontierTask for RootTask<'_> {
+    type Item = CInstance;
+    type Ctx = WorkerCtx;
+    type Accept = CInstance;
+
+    fn admit(&self, inst: &CInstance) -> bool {
+        inst.size() <= self.cfg.limit
+    }
+
+    fn keys(&self, inst: &CInstance) -> SetKey {
+        SetKey {
+            signature: signature(inst),
+            digest: exact_digest(inst),
+        }
+    }
+
+    fn is_duplicate(&self, a: &CInstance, b: &CInstance) -> bool {
+        is_isomorphic(a, b)
+    }
+
+    fn stopped(&self, ctx: &mut WorkerCtx) -> bool {
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            ctx.timed_out = true;
             return true;
         }
+        false
+    }
+
+    fn expand(&self, ctx: &mut WorkerCtx, inst: &CInstance) -> Expansion<CInstance, CInstance> {
+        let mut engine = Engine {
+            query: self.query,
+            cfg: self.cfg,
+            universal_fresh: self.universal_fresh,
+            deadline: self.deadline,
+            ctx,
+        };
+        // Line 13: Tree-SAT under the root homomorphism ∧ IsConsistent(I).
+        let sat = SatCtx::new(self.query, inst, self.cfg.enforce_keys).tree_sat(self.formula, self.h0);
+        if sat && engine.consistent(inst) {
+            return Expansion {
+                accepted: Some(inst.clone()),
+                children: Vec::new(),
+            };
+        }
+        // Lines 16–19: expand.
+        let mut children = Vec::new();
+        for j in engine.tree_chase(self.formula, inst, self.h0) {
+            if engine.stopped() {
+                break;
+            }
+            if j.size() <= self.cfg.limit && engine.consistent(&j) {
+                children.push(j);
+            }
+        }
+        Expansion {
+            accepted: None,
+            children,
+        }
+    }
+}
+
+/// The recursive chase engine: all of Algorithms 1–6 below the top level,
+/// operating on one worker's memo context.
+struct Engine<'e> {
+    query: &'e Query,
+    cfg: &'e ChaseConfig,
+    universal_fresh: bool,
+    deadline: Option<Instant>,
+    ctx: &'e mut WorkerCtx,
+}
+
+impl Engine<'_> {
+    fn stopped(&mut self) -> bool {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
-                self.timed_out = true;
+                self.ctx.timed_out = true;
                 return true;
             }
         }
@@ -126,7 +427,7 @@ impl<'a> Chase<'a> {
 
     fn consistent(&mut self, inst: &CInstance) -> bool {
         let key = exact_digest(inst);
-        if let Some(v) = self.consist_memo.get(&key) {
+        if let Some(v) = self.ctx.consist_memo.get(&key) {
             return *v;
         }
         let ans = self.full_check(inst);
@@ -144,18 +445,19 @@ impl<'a> Chase<'a> {
     /// reusable).
     fn consistent_step(&mut self, parent: &CInstance, child: &CInstance) -> bool {
         let key = exact_digest(child);
-        if let Some(v) = self.consist_memo.get(&key) {
+        if let Some(v) = self.ctx.consist_memo.get(&key) {
             return *v;
         }
         let ans = if self.cfg.solver_cache {
             let problem = to_problem(child, self.cfg.enforce_keys);
             let canon = canonicalize(&problem);
-            match self.solver_cache.lookup_sat(&canon) {
+            match self.ctx.solver_cache.lookup_sat(&canon) {
                 Some(sat) => sat,
                 None => match self.incremental_check(parent, child) {
                     Some(ext) => {
-                        self.incr_extends += 1;
-                        self.solver_cache
+                        self.ctx.incr_extends += 1;
+                        self.ctx
+                            .solver_cache
                             .insert(&canon, ext.as_ref().map(|st| st.model()));
                         match ext {
                             Some(st) => {
@@ -166,15 +468,15 @@ impl<'a> Chase<'a> {
                         }
                     }
                     None => {
-                        self.incr_fallbacks += 1;
-                        self.solver_cache.solve_canonical(&canon).is_sat()
+                        self.ctx.incr_fallbacks += 1;
+                        self.ctx.solver_cache.solve_canonical(&canon).is_sat()
                     }
                 },
             }
         } else {
             match self.incremental_check(parent, child) {
                 Some(ext) => {
-                    self.incr_extends += 1;
+                    self.ctx.incr_extends += 1;
                     match ext {
                         Some(st) => {
                             self.memoize_state(state_key(key, child), st);
@@ -184,7 +486,7 @@ impl<'a> Chase<'a> {
                     }
                 }
                 None => {
-                    self.incr_fallbacks += 1;
+                    self.ctx.incr_fallbacks += 1;
                     is_consistent(child, self.cfg.enforce_keys)
                 }
             }
@@ -197,15 +499,15 @@ impl<'a> Chase<'a> {
     /// enabled.
     fn full_check(&mut self, inst: &CInstance) -> bool {
         if self.cfg.solver_cache {
-            is_consistent_cached(inst, self.cfg.enforce_keys, &mut self.solver_cache)
+            is_consistent_cached(inst, self.cfg.enforce_keys, &mut self.ctx.solver_cache)
         } else {
             is_consistent(inst, self.cfg.enforce_keys)
         }
     }
 
     fn memoize_consistency(&mut self, key: u64, ans: bool) {
-        if self.consist_memo.len() < 1_000_000 {
-            self.consist_memo.insert(key, ans);
+        if self.ctx.consist_memo.len() < 1_000_000 {
+            self.ctx.consist_memo.insert(key, ans);
         }
     }
 
@@ -242,7 +544,7 @@ impl<'a> Chase<'a> {
         }
         let parent_key = state_key(exact_digest(parent), parent);
         let mut seeded: Option<SaturatedState> = None;
-        let parent_state = match self.sat_memo.get(&parent_key) {
+        let parent_state = match self.ctx.sat_memo.get(&parent_key) {
             Some(s) => s,
             None => {
                 // Child purity implies parent purity (tables and conditions
@@ -269,22 +571,14 @@ impl<'a> Chase<'a> {
     }
 
     fn memoize_state(&mut self, key: u64, st: SaturatedState) {
-        if self.sat_memo.len() < SAT_MEMO_CAP {
-            self.sat_memo.insert(key, st);
+        if self.ctx.sat_memo.len() < SAT_MEMO_CAP {
+            self.ctx.sat_memo.insert(key, st);
         }
     }
 
-    /// Runs Algorithm 1 on `formula` from `seed`/`seed_h` as the top level,
-    /// logging accepted instances.
-    pub fn run_root(&mut self, formula: &Formula, seed: CInstance, seed_h: Hom) {
-        self.bfs(formula, &seed_h, &seed, true);
-    }
-
-    /// `Tree-Chase-BFS` (Algorithm 1), memoized for recursive calls.
-    fn bfs(&mut self, q: &Formula, h0: &Hom, i0: &CInstance, top: bool) -> Vec<CInstance> {
-        if top {
-            return self.bfs_inner(q, h0, i0, true);
-        }
+    /// `Tree-Chase-BFS` (Algorithm 1) for recursive (sub-formula) calls,
+    /// memoized on (subtree, instance, relevant homomorphism entries).
+    fn bfs(&mut self, q: &Formula, h0: &Hom, i0: &CInstance) -> Vec<CInstance> {
         // Key: subtree structure + exact instance + the homomorphism
         // entries its free variables see.
         let fkey = hash_of(&format!("{q:?}"));
@@ -298,30 +592,19 @@ impl<'a> Chase<'a> {
             hh.finish()
         };
         let key = (fkey, ikey, hkey);
-        if let Some(cached) = self.bfs_memo.get(&key) {
+        if let Some(cached) = self.ctx.bfs_memo.get(&key) {
             return cached.clone();
         }
-        let res = self.bfs_inner(q, h0, i0, false);
-        // Results truncated by timeout/max_results must not poison the
-        // cache.
-        if !self.timed_out && !self.done && self.bfs_memo.len() < 400_000 {
-            self.bfs_memo.insert(key, res.clone());
+        let res = self.bfs_inner(q, h0, i0);
+        // Results truncated by timeout must not poison the cache.
+        if !self.ctx.timed_out && self.ctx.bfs_memo.len() < 400_000 {
+            self.ctx.bfs_memo.insert(key, res.clone());
         }
         res
     }
 
-    fn bfs_inner(&mut self, q: &Formula, h0: &Hom, i0: &CInstance, top: bool) -> Vec<CInstance> {
-        let mut h0 = h0.clone();
-        h0.resize(self.query.vars.len(), None);
-        let mut i0 = i0.clone();
-        // Lines 2–5: bind unbound free variables to fresh labeled nulls.
-        for v in q.free_vars() {
-            if h0[v.index()].is_none() {
-                let d = self.query.var_domain(v);
-                let n = i0.fresh_null(self.query.var_name(v), d);
-                h0[v.index()] = Some(Ent::Null(n));
-            }
-        }
+    fn bfs_inner(&mut self, q: &Formula, h0: &Hom, i0: &CInstance) -> Vec<CInstance> {
+        let (i0, h0) = bind_free_vars(self.query, q, i0.clone(), h0.clone());
         let mut res: Vec<CInstance> = Vec::new();
         let mut queue: VecDeque<CInstance> = VecDeque::new();
         queue.push_back(i0);
@@ -349,16 +632,6 @@ impl<'a> Chase<'a> {
             // other entity) ∧ IsConsistent(I).
             let ctx = SatCtx::new(self.query, &inst, self.cfg.enforce_keys);
             if ctx.tree_sat(q, &h0) && self.consistent(&inst) {
-                if top {
-                    self.accepted.push((inst.clone(), self.start.elapsed()));
-                    if self
-                        .cfg
-                        .max_results
-                        .is_some_and(|m| self.accepted.len() >= m)
-                    {
-                        self.done = true;
-                    }
-                }
                 res.push(inst);
                 continue;
             }
@@ -382,7 +655,7 @@ impl<'a> Chase<'a> {
             // Lines 2–7: materialize each DNF conjunction.
             let mut res = Vec::new();
             for conj in tree_to_conj(q) {
-                if let Some(j) = self.add_to_ins(inst, &conj, h) {
+                if let Some(j) = materialize(self.query, inst, &conj, h) {
                     // `j` extends `inst` by one materialized conjunction —
                     // the incremental hot path.
                     if self.consistent_step(inst, &j) {
@@ -411,13 +684,13 @@ impl<'a> Chase<'a> {
         h: &Hom,
     ) -> Vec<CInstance> {
         let mut res = Vec::new();
-        let lres = self.bfs(l, h, inst, false);
+        let lres = self.bfs(l, h, inst);
         for j in lres {
             if self.stopped() {
                 break;
             }
             // BFS results are already consistent and satisfying.
-            res.extend(self.bfs(r, h, &j, false));
+            res.extend(self.bfs(r, h, &j));
         }
         res
     }
@@ -435,7 +708,7 @@ impl<'a> Chase<'a> {
             if self.stopped() {
                 break;
             }
-            res.extend(self.bfs(&case, h, inst, false));
+            res.extend(self.bfs(&case, h, inst));
         }
         res
     }
@@ -457,14 +730,14 @@ impl<'a> Chase<'a> {
             }
             let mut g = h.clone();
             g[v.index()] = Some(e);
-            res.extend(self.bfs(body, &g, inst, false));
+            res.extend(self.bfs(body, &g, inst));
         }
         if !self.stopped() {
             let mut i2 = inst.clone();
             let y = i2.fresh_null(self.query.var_name(v), d);
             let mut g = h.clone();
             g[v.index()] = Some(Ent::Null(y));
-            res.extend(self.bfs(body, &g, &i2, false));
+            res.extend(self.bfs(body, &g, &i2));
         }
         res
     }
@@ -494,7 +767,7 @@ impl<'a> Chase<'a> {
                 g[v.index()] = Some(e);
                 let mut cur = Vec::new();
                 for j1 in &ilist {
-                    cur.extend(self.bfs(body, &g, j1, false));
+                    cur.extend(self.bfs(body, &g, j1));
                 }
                 ilist = cur;
             }
@@ -509,23 +782,11 @@ impl<'a> Chase<'a> {
                 let y = j.fresh_null(self.query.var_name(v), d);
                 let mut g = h.clone();
                 g[v.index()] = Some(Ent::Null(y));
-                cur.extend(self.bfs(body, &g, &j, false));
+                cur.extend(self.bfs(body, &g, &j));
             }
             res.extend(cur);
         }
         res
-    }
-
-    /// `Add-to-Ins`: materializes one conjunction of atoms into a copy of
-    /// `inst` under the homomorphism `h`. Returns `None` when a
-    /// constant-only condition is already false.
-    pub fn add_to_ins(
-        &self,
-        inst: &CInstance,
-        conj: &[Atom],
-        h: &Hom,
-    ) -> Option<CInstance> {
-        materialize(self.query, inst, conj, h)
     }
 }
 
@@ -636,14 +897,17 @@ mod tests {
         )
     }
 
-    fn run(src: &str, limit: usize) -> Vec<CInstance> {
+    fn run_with(src: &str, cfg: &ChaseConfig) -> Vec<CInstance> {
         let s = schema();
         let q = parse_query(&s, src).unwrap();
-        let cfg = ChaseConfig::with_limit(limit);
-        let mut chase = Chase::new(&q, &cfg, true);
+        let mut chase = Chase::new(&q, cfg, true);
         let seed = CInstance::new(Arc::clone(&s));
         chase.run_root(&q.formula.clone(), seed, vec![None; q.vars.len()]);
         chase.accepted.into_iter().map(|(i, _)| i).collect()
+    }
+
+    fn run(src: &str, limit: usize) -> Vec<CInstance> {
+        run_with(src, &ChaseConfig::with_limit(limit))
     }
 
     #[test]
@@ -757,5 +1021,28 @@ mod tests {
             vec![None; q.vars.len()],
         );
         assert_eq!(chase.accepted.len(), 1);
+    }
+
+    #[test]
+    fn parallel_root_matches_sequential_accepted_sequence() {
+        // The strongest determinism statement: the *ordered* accepted
+        // stream is identical, instance by instance, rendered bytes and
+        // all.
+        let queries = [
+            "{ (b1) | exists d1 (Likes(d1, b1)) }",
+            "{ (x1, b1) | exists p1, x2, p2 . Serves(x1, b1, p1) and Serves(x2, b1, p2) and p1 > p2 }",
+            "{ (x1) | exists b1, p1 (Serves(x1, b1, p1) and (p1 > 3.0 or p1 < 1.0)) }",
+        ];
+        for src in queries {
+            let seq = run_with(src, &ChaseConfig::with_limit(6));
+            let par = run_with(
+                src,
+                &ChaseConfig::with_limit(6).threads(4).parallel_min_frontier(2),
+            );
+            assert_eq!(seq.len(), par.len(), "{src}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(format!("{a}"), format!("{b}"), "{src}");
+            }
+        }
     }
 }

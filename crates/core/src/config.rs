@@ -99,6 +99,17 @@ pub struct ChaseConfig {
     /// parent conjunction is sizable, while tiny problems solve faster
     /// than the state bookkeeping costs.
     pub incremental_min_lits: usize,
+    /// Thread budget for frontier expansion (`cqi-runtime`): `1` (the
+    /// default) runs the legacy sequential search, `0` uses all available
+    /// parallelism, `n > 1` uses exactly `n` workers. Parallel runs accept
+    /// the same instances in the same order as sequential ones — the
+    /// scheduler's determinism guarantee — so this is purely a wall-clock
+    /// knob.
+    pub threads: usize,
+    /// Frontier waves narrower than this spill to inline single-context
+    /// processing instead of fanning out (thread/dedupe overhead only pays
+    /// for itself on wide frontiers). Only consulted when `threads != 1`.
+    pub parallel_min_frontier: usize,
 }
 
 impl ChaseConfig {
@@ -113,6 +124,8 @@ impl ChaseConfig {
             solver_cache_capacity: cqi_solver::cache::DEFAULT_CACHE_CAPACITY,
             incremental: true,
             incremental_min_lits: 6,
+            threads: 1,
+            parallel_min_frontier: 4,
         }
     }
 
@@ -149,6 +162,22 @@ impl ChaseConfig {
     pub fn incremental_min_lits(mut self, n: usize) -> ChaseConfig {
         self.incremental_min_lits = n;
         self
+    }
+
+    pub fn threads(mut self, n: usize) -> ChaseConfig {
+        self.threads = n;
+        self
+    }
+
+    pub fn parallel_min_frontier(mut self, n: usize) -> ChaseConfig {
+        self.parallel_min_frontier = n;
+        self
+    }
+
+    /// The effective worker count: `0` resolves to the machine's available
+    /// parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        cqi_runtime::resolve_threads(self.threads)
     }
 }
 
@@ -187,5 +216,17 @@ mod tests {
         let cold = c.solver_cache(false).incremental(false).solver_cache_capacity(16);
         assert!(!cold.solver_cache && !cold.incremental);
         assert_eq!(cold.solver_cache_capacity, 16);
+    }
+
+    #[test]
+    fn thread_knobs() {
+        let c = ChaseConfig::with_limit(6);
+        assert_eq!(c.threads, 1, "sequential by default");
+        assert_eq!(c.resolved_threads(), 1);
+        let par = c.threads(3).parallel_min_frontier(9);
+        assert_eq!(par.resolved_threads(), 3);
+        assert_eq!(par.parallel_min_frontier, 9);
+        // 0 = all available parallelism (at least one worker anywhere).
+        assert!(ChaseConfig::with_limit(6).threads(0).resolved_threads() >= 1);
     }
 }

@@ -5,7 +5,7 @@ use cqi_drc::{Atom, Coverage, Formula, SyntaxTree, Term};
 use cqi_instance::CInstance;
 use cqi_solver::Ent;
 
-use crate::chase::{materialize, Chase};
+use crate::chase::{materialize, Chase, RootJob};
 use crate::config::{ChaseConfig, Variant};
 use crate::conjtree::conjunctive_trees;
 use crate::cover::coverage_of_cinstance_keys;
@@ -14,6 +14,12 @@ use crate::treesat::{Hom, SatCtx};
 
 /// Runs one variant on a query's syntax tree and returns its minimal
 /// c-solution.
+///
+/// Both phases (the per-tree roots and the `*-Add` re-seeds) are batches of
+/// independent root searches routed through [`Chase::run_roots`]: with
+/// `cfg.threads != 1` whole roots fan out across workers, and each root's
+/// own frontier is driven by the `cqi-runtime` scheduler — sequentially or
+/// wave-parallel — with identical output either way.
 pub fn run_variant(tree: &SyntaxTree, variant: Variant, cfg: &ChaseConfig) -> CSolution {
     let q = tree.query();
     let universal_fresh = cfg
@@ -26,36 +32,45 @@ pub fn run_variant(tree: &SyntaxTree, variant: Variant, cfg: &ChaseConfig) -> CS
         vec![q.formula.clone()]
     };
     let empty_h: Hom = vec![None; q.vars.len()];
-    for f in &formulas {
-        if chase.timed_out {
-            break;
-        }
-        chase.run_root(f, CInstance::new(q.schema.clone()), empty_h.clone());
-    }
+    chase.run_roots(
+        formulas
+            .iter()
+            .map(|f| RootJob {
+                formula: f,
+                seed: CInstance::new(q.schema.clone()),
+                h: empty_h.clone(),
+            })
+            .collect(),
+    );
 
     if variant.is_add() && !chase.timed_out {
         // Which original leaves are still uncovered by any accepted
-        // instance?
+        // instance? (Snapshot semantics: every re-seed job below is judged
+        // against this one coverage set, which is what makes the jobs
+        // independent and the batch parallelizable.)
         let mut covered = Coverage::new();
         let snapshot: Vec<CInstance> =
             chase.accepted.iter().map(|(i, _)| i.clone()).collect();
         for inst in &snapshot {
             covered.extend(coverage_of_cinstance_keys(q, inst, cfg.enforce_keys));
         }
+        let mut jobs: Vec<RootJob<'_>> = Vec::new();
         for (leaf_id, atom) in tree.leaves() {
-            if covered.contains(&leaf_id) || chase.timed_out {
+            if covered.contains(&leaf_id) {
                 continue;
             }
             let Some((seed, h0)) = seed_for_leaf(q, atom) else {
                 continue;
             };
             for f in &formulas {
-                if chase.timed_out {
-                    break;
-                }
-                chase.run_root(f, seed.clone(), h0.clone());
+                jobs.push(RootJob {
+                    formula: f,
+                    seed: seed.clone(),
+                    h: h0.clone(),
+                });
             }
         }
+        chase.run_roots(jobs);
     }
 
     finalize(tree, chase)

@@ -1,0 +1,63 @@
+//! # cqi-runtime
+//!
+//! Execution substrate for the chase: a scoped work-stealing thread pool
+//! (std-only, no external deps), a sharded concurrent duplicate-detection
+//! set keyed on isomorphism invariants, and a [`FrontierScheduler`] that
+//! drives breadth-first frontier expansion either sequentially or in
+//! parallel — with **byte-identical results** either way.
+//!
+//! ## Determinism model
+//!
+//! Algorithm 1 of the paper explores a frontier of independent c-instance
+//! branch candidates. Expanding a candidate is a pure function of the
+//! candidate (memo state only affects speed), so candidates can be expanded
+//! concurrently as long as
+//!
+//! 1. **duplicate detection is order-stable** — when several candidates of
+//!    one isomorphism class race, the one that the *sequential* scheduler
+//!    would have kept (the earliest in FIFO order) must win, and
+//! 2. **results are collected in FIFO order** — accepted instances and
+//!    newly produced children are merged back in the order the sequential
+//!    scheduler would have produced them.
+//!
+//! The [`ShardedDedupe`] set solves (1) with a sequence-priority protocol
+//! ([`ShardedDedupe::offer`] / [`ShardedDedupe::confirm`]); the
+//! [`ParallelScheduler`] solves (2) by processing the frontier in FIFO
+//! waves and tagging every expansion with its frontier position before
+//! merging. See the crate-level tests plus `cqi-core`'s
+//! `parallel_props.rs` for the property suites asserting sequential ≡
+//! parallel.
+
+pub mod dedupe;
+pub mod pool;
+pub mod scheduler;
+
+pub use dedupe::{DedupeStats, Offer, SetKey, ShardedDedupe};
+pub use pool::parallel_for;
+pub use scheduler::{
+    Expansion, FrontierScheduler, FrontierTask, ParallelScheduler, SequentialScheduler,
+};
+
+/// Resolves a user-facing thread budget: `0` means "all available
+/// parallelism", anything else is taken literally (minimum 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_zero_is_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+}

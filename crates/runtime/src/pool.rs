@@ -1,0 +1,189 @@
+//! A scoped work-stealing pool over `std::thread` (no external deps).
+//!
+//! [`parallel_for`] runs one closure over an indexed slice of items on up
+//! to `ctxs.len()` scoped workers. Each worker owns one mutable context
+//! (the chase threads its per-worker `SolverCache`/`SaturatedState` memos
+//! through here) and pulls work from its own bounded deque; idle workers
+//! *batch-steal* half of a victim's remaining ranges in one lock
+//! acquisition. Results are tagged with their item index and returned in
+//! item order, so callers observe a deterministic, sequential-equivalent
+//! output regardless of how work was interleaved.
+//!
+//! Workers are *scoped per call* (spawned at entry, joined before return) —
+//! a fork-join primitive, not a resident pool. Callers amortize the spawn
+//! cost by batching: the frontier scheduler hands over whole waves, spills
+//! narrow waves inline, and keeps cheap phases inline below a fan-out
+//! threshold.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// How many items a worker claims from its own queue per lock acquisition.
+/// Small enough to keep the tail of a wave balanced, large enough that the
+/// lock is off the hot path.
+fn batch_size(items: usize, workers: usize) -> usize {
+    (items / (workers * 4)).clamp(1, 64)
+}
+
+/// Pops a batch from the worker's own deque (front), or batch-steals half
+/// of a victim's backmost range. Returns `None` when every queue is empty.
+fn pop_or_steal(
+    queues: &[Mutex<VecDeque<Range<usize>>>],
+    worker: usize,
+    batch: usize,
+) -> Option<Range<usize>> {
+    {
+        let mut q = queues[worker].lock().unwrap();
+        if let Some(r) = q.pop_front() {
+            if r.len() > batch {
+                q.push_front(r.start + batch..r.end);
+                return Some(r.start..r.start + batch);
+            }
+            return Some(r);
+        }
+    }
+    // Steal: scan the other workers round-robin from our right neighbour;
+    // take the back half of the victim's backmost range (batch-steal — one
+    // lock, up to half the victim's pending work).
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (worker + off) % n;
+        let mut q = queues[victim].lock().unwrap();
+        if let Some(r) = q.pop_back() {
+            if r.len() > 1 {
+                let mid = r.start + r.len() / 2;
+                q.push_back(r.start..mid);
+                return Some(mid..r.end);
+            }
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Runs `f(ctx, index, &items[index])` for every item, fanning out over at
+/// most `ctxs.len()` scoped threads (capped at the item count), and returns
+/// the results in item order. With a single context (or zero/one items)
+/// everything runs inline on `ctxs[0]` — no threads are spawned.
+pub fn parallel_for<T, C, R, F>(ctxs: &mut [C], items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    C: Send,
+    R: Send,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    assert!(!ctxs.is_empty(), "parallel_for needs at least one context");
+    let workers = ctxs.len().min(items.len());
+    if workers <= 1 {
+        let ctx = &mut ctxs[0];
+        return items.iter().enumerate().map(|(i, t)| f(ctx, i, t)).collect();
+    }
+    let batch = batch_size(items.len(), workers);
+    // Seed each worker's deque with one contiguous range (cache-friendly);
+    // the deques are bounded by construction (≤ items.len() entries total).
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> = (0..workers)
+        .map(|w| {
+            let per = items.len().div_ceil(workers);
+            let start = (w * per).min(items.len());
+            let end = ((w + 1) * per).min(items.len());
+            let mut q = VecDeque::new();
+            if start < end {
+                q.push_back(start..end);
+            }
+            Mutex::new(q)
+        })
+        .collect();
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ctxs
+            .iter_mut()
+            .take(workers)
+            .enumerate()
+            .map(|(w, ctx)| {
+                let queues = &queues;
+                let f = &f;
+                s.spawn(move || {
+                    let mut got: Vec<(usize, R)> = Vec::new();
+                    while let Some(range) = pop_or_steal(queues, w, batch) {
+                        for i in range {
+                            got.push((i, f(ctx, i, &items[i])));
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("pool worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every index processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_item_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let mut ctxs = vec![(), (), (), ()];
+        let out = parallel_for(&mut ctxs, &items, |_, i, x| {
+            assert_eq!(i, *x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let items: Vec<usize> = (0..777).collect();
+        let hits = AtomicUsize::new(0);
+        let mut ctxs = vec![0usize; 3];
+        let out = parallel_for(&mut ctxs, &items, |ctx, _, x| {
+            *ctx += 1;
+            hits.fetch_add(1, Ordering::Relaxed);
+            *x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 777);
+        assert_eq!(out.len(), 777);
+        // Per-worker contexts saw disjoint shares that sum to the total.
+        assert_eq!(ctxs.iter().sum::<usize>(), 777);
+    }
+
+    #[test]
+    fn single_context_runs_inline() {
+        let items = vec![1, 2, 3];
+        let mut ctxs = vec![Vec::<usize>::new()];
+        parallel_for(&mut ctxs, &items, |ctx, i, _| ctx.push(i));
+        assert_eq!(ctxs[0], vec![0, 1, 2], "inline path preserves order");
+    }
+
+    #[test]
+    fn empty_items_is_a_noop() {
+        let mut ctxs = vec![(), ()];
+        let out: Vec<u8> = parallel_for(&mut ctxs, &Vec::<u8>::new(), |_, _, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One pathologically slow item at index 0; the rest are instant.
+        // All items must still complete (stealing redistributes the tail).
+        let items: Vec<usize> = (0..256).collect();
+        let mut ctxs = vec![(); 4];
+        let out = parallel_for(&mut ctxs, &items, |_, _, x| {
+            if *x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            *x + 1
+        });
+        assert_eq!(out, (1..=256).collect::<Vec<_>>());
+    }
+}

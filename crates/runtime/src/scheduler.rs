@@ -1,0 +1,442 @@
+//! The frontier scheduler: sequential and parallel drivers for Algorithm
+//! 1's breadth-first expansion loop, behind one [`FrontierScheduler`]
+//! trait.
+//!
+//! A [`FrontierTask`] describes one BFS: how to admit an item (size
+//! limit), how to key it for duplicate detection, how to confirm an exact
+//! duplicate, and how to *expand* it into either an accepted result or a
+//! list of children. Expansion must be a pure function of the item — the
+//! per-worker context only carries memo/cache state that changes speed,
+//! never answers. Under that contract both schedulers produce the same
+//! accepted-result sequence and visit the same frontier (see the module
+//! docs of [`crate`] for the argument, and the property tests for the
+//! evidence).
+
+use std::collections::VecDeque;
+
+use crate::dedupe::{Offer, SetKey, ShardedDedupe};
+use crate::pool::parallel_for;
+
+/// What expanding one frontier item produced: either an accepted result
+/// (satisfying, consistent — not expanded further) or children to enqueue.
+pub struct Expansion<T, A> {
+    pub accepted: Option<A>,
+    pub children: Vec<T>,
+}
+
+/// One breadth-first frontier exploration, as seen by the scheduler.
+pub trait FrontierTask: Sync {
+    /// Frontier item (a c-instance branch candidate, for the chase).
+    type Item: Clone + Send + Sync;
+    /// Per-worker mutable context (solver caches, saturated-state memos).
+    type Ctx: Send;
+    /// Accepted result type.
+    type Accept: Send;
+
+    /// Pre-dedupe admission (the chase's `|I| ≤ limit` bound).
+    fn admit(&self, item: &Self::Item) -> bool;
+
+    /// Duplicate-detection keys: renaming-invariant signature + exact
+    /// digest.
+    fn keys(&self, item: &Self::Item) -> SetKey;
+
+    /// Exact duplicate confirmation (isomorphism), run on signature
+    /// collisions.
+    fn is_duplicate(&self, a: &Self::Item, b: &Self::Item) -> bool;
+
+    /// Expands one admitted, deduplicated item. Must be deterministic in
+    /// `item`; `ctx` is memo state only.
+    fn expand(&self, ctx: &mut Self::Ctx, item: &Self::Item) -> Expansion<Self::Item, Self::Accept>;
+
+    /// Polled between items/waves; return `true` to abort the drive (the
+    /// chase's wall-clock deadline). May record the abort in `ctx`.
+    fn stopped(&self, ctx: &mut Self::Ctx) -> bool;
+}
+
+/// Drives a [`FrontierTask`] to exhaustion. `sink` receives accepted
+/// results in deterministic FIFO order; returning `false` halts the drive
+/// (the chase's `max_results`).
+pub trait FrontierScheduler<T: FrontierTask> {
+    fn drive(
+        &self,
+        task: &T,
+        ctxs: &mut [T::Ctx],
+        seeds: Vec<T::Item>,
+        sink: &mut dyn FnMut(T::Accept) -> bool,
+    );
+}
+
+/// What happened to one inline-processed item (shared between the
+/// sequential driver and the parallel driver's spill path, so the per-item
+/// protocol — stopped → admit → offer → expand → sink — lives in exactly
+/// one place).
+enum InlineStep<T> {
+    /// The drive must stop (deadline, or the sink declined).
+    Halt,
+    /// Item was inadmissible or a duplicate; nothing to enqueue.
+    Skip,
+    /// Item expanded into children to enqueue.
+    Children(Vec<T>),
+}
+
+/// Processes one item inline on `ctx`. Offers arrive in FIFO order here, so
+/// a `Tentative` verdict is definitive — no confirm pass needed.
+fn step_inline<T: FrontierTask>(
+    task: &T,
+    ctx: &mut T::Ctx,
+    dedupe: &ShardedDedupe<T::Item>,
+    seq: u64,
+    item: &T::Item,
+    sink: &mut dyn FnMut(T::Accept) -> bool,
+) -> InlineStep<T::Item> {
+    if task.stopped(ctx) {
+        return InlineStep::Halt;
+    }
+    if !task.admit(item) {
+        return InlineStep::Skip;
+    }
+    let iso = |a: &T::Item, b: &T::Item| task.is_duplicate(a, b);
+    if dedupe.offer(task.keys(item), seq, item, &iso) == Offer::Duplicate {
+        return InlineStep::Skip;
+    }
+    let exp = task.expand(ctx, item);
+    if let Some(a) = exp.accepted {
+        if !sink(a) {
+            return InlineStep::Halt;
+        }
+        return InlineStep::Skip;
+    }
+    InlineStep::Children(exp.children)
+}
+
+/// The reference implementation: plain FIFO, one context, no threads.
+pub struct SequentialScheduler;
+
+impl<T: FrontierTask> FrontierScheduler<T> for SequentialScheduler {
+    fn drive(
+        &self,
+        task: &T,
+        ctxs: &mut [T::Ctx],
+        seeds: Vec<T::Item>,
+        sink: &mut dyn FnMut(T::Accept) -> bool,
+    ) {
+        let ctx = &mut ctxs[0];
+        let dedupe: ShardedDedupe<T::Item> = ShardedDedupe::new(1);
+        let mut queue: VecDeque<T::Item> = seeds.into();
+        let mut seq: u64 = 0;
+        while let Some(item) = queue.pop_front() {
+            let s = seq;
+            seq += 1;
+            match step_inline(task, ctx, &dedupe, s, &item, sink) {
+                InlineStep::Halt => break,
+                InlineStep::Skip => {}
+                InlineStep::Children(children) => queue.extend(children),
+            }
+        }
+    }
+}
+
+/// Below this wave width the offer/keying phase runs inline: keying is
+/// microsecond-scale work and [`parallel_for`] spawns scoped threads per
+/// call, so narrow waves would pay more in spawns than they save.
+/// (Expansion — the expensive phase — still fans out from
+/// `min_frontier` up.)
+const KEY_FANOUT_MIN: usize = 32;
+
+/// Wave-parallel driver: the frontier is processed in FIFO waves; within a
+/// wave, keying/dedupe offers and expansions fan out over the work-stealing
+/// pool, then verdicts and results are merged back in FIFO order, so the
+/// output is identical to [`SequentialScheduler`]'s.
+pub struct ParallelScheduler {
+    /// Waves smaller than this spill to inline (single-context) processing
+    /// — thread fan-out only pays for itself on wide frontiers.
+    pub min_frontier: usize,
+    /// Lock stripes of the shared dedupe set.
+    pub shards: usize,
+}
+
+impl ParallelScheduler {
+    pub fn new(min_frontier: usize) -> ParallelScheduler {
+        ParallelScheduler {
+            min_frontier,
+            shards: 64,
+        }
+    }
+}
+
+enum Verdict {
+    /// Failed admission (size bound) — dropped before dedupe.
+    Skipped,
+    /// Final duplicate (an earlier candidate of the class exists).
+    Duplicate,
+    /// Current class representative; confirmed after the wave barrier.
+    Tentative(SetKey),
+}
+
+impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
+    fn drive(
+        &self,
+        task: &T,
+        ctxs: &mut [T::Ctx],
+        seeds: Vec<T::Item>,
+        sink: &mut dyn FnMut(T::Accept) -> bool,
+    ) {
+        let dedupe: ShardedDedupe<T::Item> = ShardedDedupe::new(self.shards);
+        let iso = |a: &T::Item, b: &T::Item| task.is_duplicate(a, b);
+        let mut frontier: Vec<T::Item> = seeds;
+        let mut next_seq: u64 = 0;
+        'drive: while !frontier.is_empty() {
+            if task.stopped(&mut ctxs[0]) {
+                break;
+            }
+            let wave: Vec<(u64, T::Item)> = frontier
+                .drain(..)
+                .map(|item| {
+                    let s = next_seq;
+                    next_seq += 1;
+                    (s, item)
+                })
+                .collect();
+
+            if ctxs.len() <= 1 || wave.len() < self.min_frontier.max(2) {
+                // Spill threshold: process the wave inline on the main
+                // context, via the same per-item step as the sequential
+                // driver (offers arrive in FIFO order, so Tentative is
+                // definitive).
+                for (seq, item) in wave {
+                    match step_inline(task, &mut ctxs[0], &dedupe, seq, &item, sink) {
+                        InlineStep::Halt => break 'drive,
+                        InlineStep::Skip => {}
+                        InlineStep::Children(children) => frontier.extend(children),
+                    }
+                }
+                continue;
+            }
+
+            // Phases 1–2: admission, invariant keys, dedupe offers, and the
+            // post-barrier confirm. Keying one candidate costs microseconds
+            // while a thread spawn costs tens of them, so the offer phase
+            // only fans out once the wave is wide enough to amortize the
+            // spawns; below that it runs inline in FIFO order (where
+            // Tentative is definitive and no confirm pass is needed).
+            // Either way the surviving set is the FIFO-first representative
+            // of every class.
+            let survivors: Vec<usize> = if wave.len() >= KEY_FANOUT_MIN {
+                let verdicts: Vec<Verdict> = parallel_for(ctxs, &wave, |_, _, (seq, item)| {
+                    if !task.admit(item) {
+                        return Verdict::Skipped;
+                    }
+                    let key = task.keys(item);
+                    match dedupe.offer(key, *seq, item, &iso) {
+                        Offer::Duplicate => Verdict::Duplicate,
+                        Offer::Tentative => Verdict::Tentative(key),
+                    }
+                });
+                wave.iter()
+                    .zip(&verdicts)
+                    .enumerate()
+                    .filter_map(|(i, ((seq, item), v))| match v {
+                        Verdict::Tentative(key) if dedupe.confirm(*key, *seq, item, &iso) => {
+                            Some(i)
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            } else {
+                wave.iter()
+                    .enumerate()
+                    .filter_map(|(i, (seq, item))| {
+                        (task.admit(item)
+                            && dedupe.offer(task.keys(item), *seq, item, &iso)
+                                == Offer::Tentative)
+                            .then_some(i)
+                    })
+                    .collect()
+            };
+
+            // Phase 3 (parallel): expand survivors on worker-local contexts.
+            let expansions: Vec<Expansion<T::Item, T::Accept>> =
+                parallel_for(ctxs, &survivors, |ctx, _, &widx| {
+                    task.expand(ctx, &wave[widx].1)
+                });
+
+            // Phase 4: merge accepted results and children in FIFO order.
+            for exp in expansions {
+                if let Some(a) = exp.accepted {
+                    if !sink(a) {
+                        break 'drive;
+                    }
+                    continue;
+                }
+                frontier.extend(exp.children);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic frontier: items are `(value, generation)`; expansion
+    /// accepts odd values and spawns `fanout` children for even ones, up
+    /// to a depth bound. Duplicate classes are `value % modulus`.
+    struct TreeTask {
+        fanout: u64,
+        depth: u64,
+        modulus: u64,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Node {
+        value: u64,
+        gen: u64,
+    }
+
+    /// Worker context counts expansions (memo-state stand-in).
+    #[derive(Default)]
+    struct Ctx {
+        expansions: usize,
+    }
+
+    impl FrontierTask for TreeTask {
+        type Item = Node;
+        type Ctx = Ctx;
+        type Accept = u64;
+
+        fn admit(&self, item: &Node) -> bool {
+            item.gen <= self.depth
+        }
+
+        fn keys(&self, item: &Node) -> SetKey {
+            let class = item.value % self.modulus;
+            SetKey {
+                signature: class ^ 0xabcd,
+                // Exact digest distinguishes members of one class.
+                digest: item.value.wrapping_mul(0x9e3779b97f4a7c15) ^ item.gen,
+            }
+        }
+
+        fn is_duplicate(&self, a: &Node, b: &Node) -> bool {
+            a.value % self.modulus == b.value % self.modulus
+        }
+
+        fn expand(&self, ctx: &mut Ctx, item: &Node) -> Expansion<Node, u64> {
+            ctx.expansions += 1;
+            if item.value % 2 == 1 {
+                return Expansion {
+                    accepted: Some(item.value),
+                    children: Vec::new(),
+                };
+            }
+            let children = (1..=self.fanout)
+                .map(|k| Node {
+                    value: item.value * self.fanout + k,
+                    gen: item.gen + 1,
+                })
+                .collect();
+            Expansion {
+                accepted: None,
+                children,
+            }
+        }
+
+        fn stopped(&self, _: &mut Ctx) -> bool {
+            false
+        }
+    }
+
+    fn run<S: FrontierScheduler<TreeTask>>(
+        s: &S,
+        task: &TreeTask,
+        workers: usize,
+        cap: Option<usize>,
+    ) -> (Vec<u64>, Vec<Ctx>) {
+        let mut ctxs: Vec<Ctx> = (0..workers).map(|_| Ctx::default()).collect();
+        let mut got = Vec::new();
+        let seeds = vec![Node { value: 2, gen: 0 }, Node { value: 4, gen: 0 }];
+        s.drive(task, &mut ctxs, seeds, &mut |a| {
+            got.push(a);
+            cap.is_none_or(|c| got.len() < c)
+        });
+        (got, ctxs)
+    }
+
+    fn task() -> TreeTask {
+        TreeTask {
+            fanout: 3,
+            depth: 6,
+            modulus: 1 << 40, // effectively no cross-value duplicates
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t = task();
+        let (seq_out, _) = run(&SequentialScheduler, &t, 1, None);
+        let (par_out, _) = run(&ParallelScheduler::new(2), &t, 4, None);
+        assert!(!seq_out.is_empty());
+        assert_eq!(seq_out, par_out, "accepted sequence must be identical");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_heavy_dedupe() {
+        // Small modulus → many cross-candidate duplicates; the
+        // sequence-priority protocol must still elect the FIFO-first
+        // member of every class.
+        let t = TreeTask {
+            fanout: 4,
+            depth: 5,
+            modulus: 13,
+        };
+        let (seq_out, _) = run(&SequentialScheduler, &t, 1, None);
+        let (par_out, _) = run(&ParallelScheduler::new(2), &t, 4, None);
+        assert_eq!(seq_out, par_out);
+    }
+
+    #[test]
+    fn sink_false_truncates_identically() {
+        let t = task();
+        let (seq_out, _) = run(&SequentialScheduler, &t, 1, Some(7));
+        let (par_out, _) = run(&ParallelScheduler::new(2), &t, 4, Some(7));
+        assert_eq!(seq_out.len(), 7);
+        assert_eq!(seq_out, par_out, "max-results cut must land identically");
+    }
+
+    #[test]
+    fn spill_threshold_keeps_small_waves_on_the_main_context() {
+        // With an unreachably high spill threshold, every wave is inline:
+        // only ctx 0 ever expands, and results still match sequential.
+        let t = task();
+        let sched = ParallelScheduler::new(usize::MAX);
+        let (par_out, ctxs) = run(&sched, &t, 4, None);
+        let (seq_out, _) = run(&SequentialScheduler, &t, 1, None);
+        assert_eq!(par_out, seq_out);
+        assert!(ctxs[0].expansions > 0);
+        assert!(
+            ctxs[1..].iter().all(|c| c.expansions == 0),
+            "spilled waves must not fan out"
+        );
+    }
+
+    #[test]
+    fn low_spill_threshold_expands_each_survivor_exactly_once() {
+        // Which worker expands a survivor is scheduling-dependent (on a
+        // single-core host one worker may steal everything), but the
+        // *total* expansion count must equal the sequential scheduler's —
+        // no survivor is expanded twice or dropped.
+        let t = TreeTask {
+            fanout: 8,
+            depth: 4,
+            modulus: 1 << 40,
+        };
+        let (seq_out, seq_ctxs) = run(&SequentialScheduler, &t, 1, None);
+        let (par_out, par_ctxs) = run(&ParallelScheduler::new(2), &t, 4, None);
+        assert_eq!(par_out, seq_out);
+        assert_eq!(
+            par_ctxs.iter().map(|c| c.expansions).sum::<usize>(),
+            seq_ctxs[0].expansions,
+            "survivors must be expanded exactly once across all workers"
+        );
+    }
+}

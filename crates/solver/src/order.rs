@@ -111,8 +111,49 @@ pub fn solve_order(p: &OrderProblem) -> Option<Vec<f64>> {
     solve_rec(p, 0)
 }
 
+/// [`solve_order`] with an *incremental warm start*: `warm[i]` is class
+/// `i`'s value from a previous solve of a sub-system of `p` (fewer edges,
+/// possibly fewer merged classes). Bellman-Ford under the longest-path
+/// semantics is monotone, and distances only grow as constraints are added,
+/// so seeding the relaxation at the old values lets it converge in a couple
+/// of rounds instead of `O(V)` — the chase's delta re-solve path extends a
+/// parent conjunction by one or two literals.
+///
+/// Soundness does not rest on the warm values being right: the warm
+/// attempt's output is fully [`verify`]d, and any failure (spurious
+/// positive cycle from stale values, pin mismatch, disequality collision)
+/// falls back to the cold solver. Warm and cold are therefore
+/// answer-equivalent; only wall-clock differs.
+pub fn solve_order_warm(p: &OrderProblem, warm: &[Option<f64>]) -> Option<Vec<f64>> {
+    if warm.len() == p.n && warm.iter().any(Option::is_some) {
+        if let Some(vals) = try_warm(p, warm) {
+            return Some(vals);
+        }
+    }
+    solve_order(p)
+}
+
+/// One warm attempt: quick pin/disequality screens, a warm-seeded
+/// candidate, and a full verification. `None` means "inconclusive — run
+/// cold", never "unsat".
+fn try_warm(p: &OrderProblem, warm: &[Option<f64>]) -> Option<Vec<f64>> {
+    for (i, v) in p.pinned.iter().enumerate() {
+        if let Some(v) = v {
+            if p.int_class[i] && v.fract() != 0.0 {
+                return None;
+            }
+        }
+    }
+    let vals = candidate(p, Some(warm))?;
+    // Disequality collisions need the splitting search — cold path.
+    if p.neqs.iter().any(|&(a, b)| vals[a] == vals[b]) {
+        return None;
+    }
+    verify(p, &vals).then_some(vals)
+}
+
 fn solve_rec(p: &OrderProblem, depth: usize) -> Option<Vec<f64>> {
-    let vals = candidate(p)?;
+    let vals = candidate(p, None)?;
     // Resolve disequality collisions by splitting on the order.
     if let Some(&(a, b)) = p.neqs.iter().find(|(a, b)| vals[*a] == vals[*b]) {
         if depth > 2 * p.neqs.len() + 2 {
@@ -131,8 +172,10 @@ fn solve_rec(p: &OrderProblem, depth: usize) -> Option<Vec<f64>> {
 }
 
 /// Longest-path candidate assignment: Bellman-Ford from a virtual source
-/// pinned below everything, followed by integer tightening.
-fn candidate(p: &OrderProblem) -> Option<Vec<f64>> {
+/// pinned below everything, followed by integer tightening. `warm`
+/// optionally seeds the relaxation with per-class values from a previous
+/// solve of a sub-system (see [`solve_order_warm`]).
+fn candidate(p: &OrderProblem, warm: Option<&[Option<f64>]>) -> Option<Vec<f64>> {
     let n = p.n;
     let src = n;
     // With pinned constants the base must sit safely below every feasible
@@ -169,11 +212,27 @@ fn candidate(p: &OrderProblem) -> Option<Vec<f64>> {
         }
     }
 
+    // Warm start: seed each class's distance at its previous value
+    // (relative to the current base). Previous values are ≤ the new least
+    // fixpoint whenever the old system was a sub-system with the same base,
+    // in which case relaxation converges in O(1) rounds; stale values at
+    // worst produce a verify failure or a spurious cycle, both of which the
+    // caller treats as "run cold".
+    let mut init: Vec<Option<W>> = vec![None; n + 1];
+    init[src] = Some(W::ZERO);
+    if let Some(warm) = warm {
+        for (i, w) in warm.iter().enumerate().take(n) {
+            if let Some(v) = w {
+                init[i] = Some(W::new((v - base).max(0.0), 0));
+            }
+        }
+    }
+
     // Iteratively raised integer lower bounds (absolute values).
     let mut int_lb: Vec<Option<f64>> = vec![None; n];
     let cap = 100 + 10 * n;
     for _round in 0..cap {
-        let dist = bellman_ford(n + 1, src, &edges, &int_lb, base)?;
+        let dist = bellman_ford(&init, &edges, &int_lb, base)?;
         // Integer tightening: raise any integer class whose lower bound is
         // not attainable by an integer.
         let mut changed = false;
@@ -202,16 +261,18 @@ fn candidate(p: &OrderProblem) -> Option<Vec<f64>> {
     None // tightening did not converge (conservative unsat)
 }
 
-/// Longest paths from `src`; `None` on a positive cycle.
+/// Longest paths from the virtual source; `None` on a positive cycle.
+/// `init` pre-seeds the distance vector (the source at zero, plus optional
+/// warm-start values — relaxation is monotone, so a below-fixpoint seed
+/// converges to the same fixpoint in fewer rounds).
 fn bellman_ford(
-    nodes: usize,
-    src: usize,
+    init: &[Option<W>],
     edges: &[(usize, usize, W)],
     int_lb: &[Option<f64>],
     base: f64,
 ) -> Option<Vec<W>> {
-    let mut dist: Vec<Option<W>> = vec![None; nodes];
-    dist[src] = Some(W::ZERO);
+    let nodes = init.len();
+    let mut dist: Vec<Option<W>> = init.to_vec();
     let relax = |dist: &mut Vec<Option<W>>| -> bool {
         let mut changed = false;
         for &(from, to, w) in edges {
@@ -478,6 +539,75 @@ mod tests {
         let mut got = vec![v[0], v[1], v[2]];
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(got, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn warm_start_agrees_on_grown_chain() {
+        // Solve a chain cold, append one more link, re-solve warm from the
+        // old values: same answer shape, still a valid chain.
+        let mut p = OrderProblem::new(4);
+        p.lt(1, 0);
+        p.lt(2, 1);
+        let cold = solve_order(&p).unwrap();
+        let mut q = p.clone();
+        q.lt(3, 2);
+        let warm: Vec<Option<f64>> = cold.iter().copied().map(Some).collect();
+        let v = solve_order_warm(&q, &warm).unwrap();
+        assert!(v[3] < v[2] && v[2] < v[1] && v[1] < v[0]);
+    }
+
+    #[test]
+    fn warm_start_with_garbage_values_is_sound() {
+        // Warm values that contradict the pins must not corrupt the
+        // answer: the warm attempt fails verification and falls back cold.
+        let mut p = OrderProblem::new(3);
+        p.pinned[0] = Some(2.25);
+        p.pinned[2] = Some(2.75);
+        p.lt(0, 1);
+        p.lt(1, 2);
+        let garbage = vec![Some(100.0), Some(-5.0), Some(0.0)];
+        let v = solve_order_warm(&p, &garbage).unwrap();
+        assert_eq!(v[0], 2.25);
+        assert_eq!(v[2], 2.75);
+        assert!(v[0] < v[1] && v[1] < v[2]);
+    }
+
+    #[test]
+    fn warm_start_agrees_on_unsat() {
+        let mut p = OrderProblem::new(2);
+        p.lt(0, 1);
+        let cold = solve_order(&p).unwrap();
+        let warm: Vec<Option<f64>> = cold.iter().copied().map(Some).collect();
+        let mut q = p.clone();
+        q.lt(1, 0); // cycle
+        assert!(solve_order_warm(&q, &warm).is_none());
+    }
+
+    #[test]
+    fn warm_start_respects_integer_tightening() {
+        // Warm from a real-relaxed solution; integer classes must still be
+        // tightened to integers.
+        let mut p = OrderProblem::new(3);
+        p.int_class = vec![true; 3];
+        p.pinned[0] = Some(2.0);
+        p.lt(0, 1);
+        p.lt(1, 2);
+        let warm = vec![Some(2.0), Some(2.1), Some(2.2)];
+        let v = solve_order_warm(&p, &warm).unwrap();
+        assert_eq!(v[0], 2.0);
+        assert!(v[1] >= 3.0 && v[1].fract() == 0.0);
+        assert!(v[2] >= 4.0 && v[2].fract() == 0.0);
+    }
+
+    #[test]
+    fn warm_start_with_neq_collision_falls_back_to_splitting() {
+        // Warm values that collide on a disequality: the warm attempt must
+        // defer to the cold splitting search, which separates them.
+        let mut p = OrderProblem::new(2);
+        p.neqs.push((0, 1));
+        let warm = vec![Some(1.0), Some(1.0)];
+        let v = solve_order_warm(&p, &warm).unwrap();
+        assert_ne!(v[0], v[1]);
     }
 
     #[test]

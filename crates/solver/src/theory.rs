@@ -55,6 +55,13 @@ pub(crate) struct Saturation {
     /// Node index per null id. Nulls registered after constants were
     /// interned get nodes beyond the initial dense prefix.
     null_node: Vec<usize>,
+    /// Per-node numeric values from the last successful [`solve`] — the
+    /// warm start of the next solve's Bellman-Ford
+    /// ([`crate::order::solve_order_warm`]). Carried along by `Clone`, so a
+    /// [`crate::state::SaturatedState`] extension re-solves its delta warm
+    /// instead of cold. Speed-only: the warm path verifies its output and
+    /// falls back to the cold solver on any mismatch.
+    warm: Vec<Option<f64>>,
 }
 
 impl Saturation {
@@ -71,6 +78,7 @@ impl Saturation {
             neqs: Vec::new(),
             likes: Vec::new(),
             null_node: (0..n).collect(),
+            warm: Vec::new(),
         }
     }
 
@@ -271,9 +279,33 @@ impl Saturation {
             }
         }
 
-        // Solve both sides.
-        let num_vals = crate::order::solve_order(&op_num)?;
+        // Solve both sides. The numeric side warm-starts from the previous
+        // solve's values when this state has solved before (the incremental
+        // extend path): per new class, the max over its member nodes' old
+        // values — a lower bound on the new least fixpoint, since
+        // constraints only grow and merged classes take the max of their
+        // parts.
+        let num_vals = if self.warm.is_empty() {
+            crate::order::solve_order(&op_num)?
+        } else {
+            let mut warm_by_class: Vec<Option<f64>> = vec![None; num_classes_list.len()];
+            for (node, w) in self.warm.iter().enumerate().take(total) {
+                if let (Some(v), Some(i)) = (w, num_idx[class_of[node]]) {
+                    let slot = &mut warm_by_class[i];
+                    *slot = Some(slot.map_or(*v, |cur: f64| cur.max(*v)));
+                }
+            }
+            crate::order::solve_order_warm(&op_num, &warm_by_class)?
+        };
         let text_vals = solve_text(&op_text)?;
+
+        // Record this solution as the next solve's warm start.
+        self.warm = vec![None; total];
+        for node in 0..total {
+            if let Some(i) = num_idx[class_of[node]] {
+                self.warm[node] = Some(num_vals[i]);
+            }
+        }
 
         // Assemble the per-null model.
         let n = self.types.len();

@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`schema`] | `cqi-schema` | values, domains, relations, constraints |
 //! | [`solver`] | `cqi-solver` | DPLL(T)-lite condition solver |
+//! | [`runtime`] | `cqi-runtime` | work-stealing frontier scheduler + concurrent iso-dedupe |
 //! | [`instance`] | `cqi-instance` | c-instances, consistency, isomorphism, grounding |
 //! | [`drc`] | `cqi-drc` | DRC parser, normalizer, pretty-printer, syntax trees |
 //! | [`eval`] | `cqi-eval` | ground evaluation of DRC queries |
@@ -42,6 +43,7 @@ pub use cqi_datasets as datasets;
 pub use cqi_drc as drc;
 pub use cqi_eval as eval;
 pub use cqi_instance as instance;
+pub use cqi_runtime as runtime;
 pub use cqi_schema as schema;
 pub use cqi_sql as sql;
 pub use cqi_solver as solver;
