@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use cqi_bench::casestudy::print_case_study;
 use cqi_bench::harness::{
     self, coverage_series, joint_coverage_size_series, print_series, run_workload,
-    runtime_series, SeriesSink, XMeasure,
+    runtime_series, time_to_first_series, RunRecord, SeriesSink, XMeasure,
 };
 use cqi_bench::userstudy::print_user_study;
 use cqi_core::{cq_neg_universal_solution, ChaseConfig, Variant};
@@ -94,6 +94,35 @@ fn emit_series(
     if let Some(sink) = o.sink.as_mut() {
         sink.emit(title, ylabel, variants, series)
             .expect("writing series to --out-dir");
+    }
+}
+
+/// Per-variant time-to-first summary over one workload (§5.1: the metric
+/// the streaming `Session` API surfaces live), printed and mirrored into
+/// `figures.json`.
+fn emit_time_to_first_summary(o: &mut Opts, label: &str, variants: &[Variant], records: &[RunRecord]) {
+    println!("\n== {label}: time to first instance (s) ==");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for v in variants {
+        let stats = harness::interactivity(records, *v);
+        let fmt = |d: Option<Duration>| {
+            d.map(|d| format!("{:.3}", d.as_secs_f64()))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "  {:<11} mean time-to-first: {:>8}",
+            v.name(),
+            fmt(stats.mean_time_to_first)
+        );
+        rows.push(vec![v.name().to_owned(), fmt(stats.mean_time_to_first)]);
+    }
+    if let Some(sink) = o.sink.as_mut() {
+        sink.emit_table(
+            &format!("{label}: time to first instance"),
+            &["variant", "mean_time_to_first_s"],
+            &rows,
+        )
+        .expect("writing time-to-first summary to --out-dir");
     }
 }
 
@@ -269,6 +298,14 @@ fn beers_figures(o: &mut Opts) {
         &variants,
         &joint_coverage_size_series(&records, &variants, XMeasure::Quantifiers),
     );
+    emit_series(
+        o,
+        "Fig. 8 (streaming): time to first instance vs # Or Below Forall + # Forall",
+        "mean seconds to first instance",
+        &variants,
+        &time_to_first_series(&records, XMeasure::OrBelowForallPlusForall),
+    );
+    emit_time_to_first_summary(o, "Beers", &variants, &records);
 }
 
 /// Figure 11: TPC-H runtime and quality (4 variants, as in the paper).
@@ -305,6 +342,14 @@ fn tpch_figures(o: &mut Opts) {
         &variants,
         &coverage_series(&records, XMeasure::OrBelowForallPlusForall),
     );
+    emit_series(
+        o,
+        "Fig. 11 (streaming): time to first instance vs # Or Below Forall + # Forall",
+        "mean seconds to first instance",
+        &variants,
+        &time_to_first_series(&records, XMeasure::OrBelowForallPlusForall),
+    );
+    emit_time_to_first_summary(o, "TPC-H", &variants, &records);
 }
 
 /// Figures 12/13: limit parameter sensitivity for one Add variant.

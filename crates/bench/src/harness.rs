@@ -5,7 +5,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use cqi_core::{run_variant, ChaseConfig, Variant};
+use cqi_core::{ChaseConfig, ExplainRequest, Session, Variant};
 use cqi_datasets::{DatasetQuery, QueryKind};
 use cqi_drc::{Metrics, SyntaxTree};
 
@@ -29,10 +29,14 @@ pub struct RunRecord {
     pub sizes_by_coverage: BTreeMap<Vec<u32>, usize>,
 }
 
-/// Runs one variant over one query.
+/// Runs one variant over one query, through the public [`Session`] API
+/// (one-shot: each measurement gets cold caches, as the figures assume).
 pub fn run_one(dq: &DatasetQuery, variant: Variant, cfg: &ChaseConfig) -> RunRecord {
     let tree = SyntaxTree::new(dq.query.clone());
-    let sol = run_variant(&tree, variant, cfg);
+    let session = Session::new(dq.query.schema.clone()).config(cfg.clone());
+    let sol = session
+        .explain_collect(ExplainRequest::tree(&tree).variant(variant))
+        .expect("pre-parsed trees compile unconditionally");
     let mut coverages = Vec::new();
     let mut sizes_by_coverage = BTreeMap::new();
     for si in &sol.instances {
@@ -155,6 +159,40 @@ pub fn coverage_series(
             .entry(r.variant)
             .or_insert((0.0, 0));
         e.0 += r.num_coverages as f64;
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(xv, per_variant)| {
+            (
+                xv,
+                per_variant
+                    .into_iter()
+                    .map(|(v, (sum, n))| (v, sum / n as f64))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// §5.1 interactivity, per x-value: mean seconds until the first instance
+/// was accepted (`CSolution::time_to_first`), grouped like the runtime
+/// series. Queries that produced no instance contribute nothing.
+pub fn time_to_first_series(
+    records: &[RunRecord],
+    x: XMeasure,
+) -> BTreeMap<usize, BTreeMap<Variant, f64>> {
+    let mut acc: BTreeMap<usize, BTreeMap<Variant, (f64, usize)>> = BTreeMap::new();
+    for r in records {
+        let Some(ttf) = r.time_to_first else {
+            continue;
+        };
+        let xv = x.of(&r.metrics);
+        let e = acc
+            .entry(xv)
+            .or_default()
+            .entry(r.variant)
+            .or_insert((0.0, 0));
+        e.0 += ttf.as_secs_f64();
         e.1 += 1;
     }
     acc.into_iter()

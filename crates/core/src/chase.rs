@@ -31,6 +31,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use cqi_drc::{Atom, Formula, Query, Term, VarId};
@@ -45,7 +46,7 @@ use cqi_runtime::{
 use cqi_solver::canon::canonicalize;
 use cqi_solver::{CacheStats, Ent, Lit, SaturatedState, SolverCache};
 
-use crate::config::ChaseConfig;
+use crate::config::{CancelToken, ChaseConfig};
 use crate::conjtree::expand_disj_node;
 use crate::dnf::{has_quantifier, tree_to_conj};
 use crate::treesat::{atom_to_lit, Hom, SatCtx};
@@ -96,6 +97,8 @@ pub(crate) struct WorkerCtx {
     incr_fallbacks: usize,
     /// This worker observed the wall-clock deadline.
     timed_out: bool,
+    /// This worker observed a fired [`CancelToken`].
+    cancelled: bool,
 }
 
 impl WorkerCtx {
@@ -108,7 +111,57 @@ impl WorkerCtx {
             incr_extends: 0,
             incr_fallbacks: 0,
             timed_out: false,
+            cancelled: false,
         }
+    }
+
+    /// Clears the per-run flags while keeping every memo warm — the reuse
+    /// contract of [`ChaseCaches`].
+    fn reset_run_flags(&mut self) {
+        self.timed_out = false;
+        self.cancelled = false;
+    }
+}
+
+/// The answer-affecting run parameters the `bfs_memo`/`consist_memo`
+/// contents were computed under. The sub-BFS results depend on the size
+/// `limit` (pruning inside `bfs_inner`) and on `universal_fresh`
+/// (`Handle-Universal`'s fresh-null branch), and consistency answers
+/// depend on `enforce_keys` — so entries are only reusable by a run with
+/// the *same* triple. The canonical-problem memo and the saturated-state
+/// snapshots are parameter-independent (the canonical problem encodes the
+/// key clauses; a saturated state derives purely from literals) and stay
+/// warm across any parameter change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CacheParams {
+    limit: usize,
+    enforce_keys: bool,
+    universal_fresh: bool,
+    /// Identity of the schema the memoized digests were computed under
+    /// (instance digests are only comparable within one schema; a
+    /// pre-parsed `QueryInput::Tree` may carry a different schema than the
+    /// session's).
+    schema: usize,
+}
+
+/// Opaque, reusable chase worker state: the solver memos, saturated-state
+/// snapshots, and sub-BFS caches of every worker context. All of it is
+/// *speed-only* state (it never changes answers — the invariant the
+/// parallel runtime already relies on), and none of it depends on the
+/// query, only on the schema's instances, so a `cqi::Session` keeps one
+/// across explain calls: repeated or similar queries over one schema hit
+/// warm caches instead of re-deriving every `IsConsistent` answer.
+/// Memos whose entries *are* sensitive to run parameters are fingerprinted
+/// by [`CacheParams`] and cleared when a reusing run differs.
+#[derive(Default)]
+pub struct ChaseCaches {
+    ctxs: Vec<WorkerCtx>,
+    params: Option<CacheParams>,
+}
+
+impl ChaseCaches {
+    pub fn new() -> ChaseCaches {
+        ChaseCaches::default()
     }
 }
 
@@ -133,7 +186,14 @@ pub struct Chase<'a> {
     pub universal_fresh: bool,
     pub start: Instant,
     deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
     pub timed_out: bool,
+    /// A [`CancelToken`] fired mid-drive.
+    pub cancelled: bool,
+    /// An acceptance observer returned `false` (the streaming consumer
+    /// stopped), halting the drive early. Distinct from the `max_results`
+    /// cap, which is a *requested* completion.
+    pub halted: bool,
     done: bool,
     /// Satisfying consistent instances accepted at the top level, with
     /// acceptance timestamps (drives the §5.1 interactivity metrics).
@@ -143,24 +203,84 @@ pub struct Chase<'a> {
     /// One memo context per worker; `ctxs[0]` doubles as the sequential
     /// context.
     ctxs: Vec<WorkerCtx>,
+    /// Hash of the query's variable table (names + domains). Folded into
+    /// the sub-BFS memo key: two queries can share a formula *shape*
+    /// (identical `VarId` structure) while naming/typing their variables
+    /// differently, and fresh nulls inherit `query.var_name`/`var_domain`
+    /// — so shape alone must not hit another query's cached results when
+    /// a session reuses [`ChaseCaches`].
+    query_key: u64,
 }
 
 impl<'a> Chase<'a> {
     pub fn new(query: &'a Query, cfg: &'a ChaseConfig, universal_fresh: bool) -> Chase<'a> {
+        Chase::new_reusing(query, cfg, universal_fresh, &mut ChaseCaches::new())
+    }
+
+    /// Like [`Chase::new`], but the worker contexts are taken from `caches`
+    /// (topped up with fresh ones if the thread budget grew); pair with
+    /// [`Chase::recycle_into`] to return them warm after the run. Reused
+    /// contexts keep the solver-cache capacity they were created with.
+    pub fn new_reusing(
+        query: &'a Query,
+        cfg: &'a ChaseConfig,
+        universal_fresh: bool,
+        caches: &mut ChaseCaches,
+    ) -> Chase<'a> {
         let start = Instant::now();
         let threads = cfg.resolved_threads().max(1);
+        let params = CacheParams {
+            limit: cfg.limit,
+            enforce_keys: cfg.enforce_keys,
+            universal_fresh,
+            schema: std::sync::Arc::as_ptr(&query.schema) as *const u8 as usize,
+        };
+        let param_safe = caches.params == Some(params);
+        caches.params = Some(params);
+        let mut ctxs: Vec<WorkerCtx> = std::mem::take(&mut caches.ctxs);
+        ctxs.truncate(threads);
+        for ctx in &mut ctxs {
+            ctx.reset_run_flags();
+            if !param_safe {
+                // These memos' answers depend on the run parameters (see
+                // [`CacheParams`]); a differing run must not see them.
+                ctx.bfs_memo.clear();
+                ctx.consist_memo.clear();
+            }
+        }
+        while ctxs.len() < threads {
+            ctxs.push(WorkerCtx::new(cfg));
+        }
+        let query_key = {
+            let mut h = DefaultHasher::new();
+            for v in &query.vars {
+                v.name.hash(&mut h);
+                v.domain.index().hash(&mut h);
+            }
+            h.finish()
+        };
         Chase {
             query,
             cfg,
             universal_fresh,
             start,
             deadline: cfg.timeout.map(|t| start + t),
+            cancel: cfg.cancel.clone(),
             timed_out: false,
+            cancelled: false,
+            halted: false,
             done: false,
             accepted: Vec::new(),
             threads,
-            ctxs: (0..threads).map(|_| WorkerCtx::new(cfg)).collect(),
+            ctxs,
+            query_key,
         }
+    }
+
+    /// Hands the worker contexts (with every memo warm) back to `caches`
+    /// for the next run.
+    pub fn recycle_into(self, caches: &mut ChaseCaches) {
+        caches.ctxs = self.ctxs;
     }
 
     /// Hit/miss/eviction counters of the canonical-problem memo, summed
@@ -191,15 +311,46 @@ impl<'a> Chase<'a> {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
+    fn cancel_fired(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|t| t.flag().load(Ordering::Relaxed))
+    }
+
+    fn collect_ctx_flags(&mut self) {
+        self.timed_out |= self.ctxs.iter().any(|c| c.timed_out);
+        self.cancelled |= self.ctxs.iter().any(|c| c.cancelled);
+    }
+
     /// Runs Algorithm 1 on `formula` from `seed`/`seed_h` as the top level,
     /// logging accepted instances. A single root drives the frontier
     /// scheduler directly (wave-parallel when `threads > 1`).
     pub fn run_root(&mut self, formula: &Formula, seed: CInstance, seed_h: Hom) {
+        self.run_root_observed(formula, seed, seed_h, &mut |_, _| true);
+    }
+
+    /// [`Chase::run_root`] with an acceptance observer: `observer` is
+    /// called with every instance (and its acceptance timestamp) the moment
+    /// it enters the log — per item sequentially, per wave under the
+    /// wave-parallel scheduler — in the same deterministic order as the
+    /// final `accepted` log. Returning `false` halts the drive (the
+    /// streaming API's consumer-gone/cancel path).
+    pub fn run_root_observed(
+        &mut self,
+        formula: &Formula,
+        seed: CInstance,
+        seed_h: Hom,
+        observer: &mut dyn FnMut(&CInstance, Duration) -> bool,
+    ) {
         if self.done {
             return;
         }
         if self.deadline_passed() {
             self.timed_out = true;
+            return;
+        }
+        if self.cancel_fired() {
+            self.cancelled = true;
             return;
         }
         let (i0, h0) = bind_free_vars(self.query, formula, seed, seed_h);
@@ -208,15 +359,25 @@ impl<'a> Chase<'a> {
             cfg: self.cfg,
             universal_fresh: self.universal_fresh,
             deadline: self.deadline,
+            cancel: self.cancel.as_ref().map(|t| t.flag()),
             formula,
             h0: &h0,
+            query_key: self.query_key,
         };
         let start = self.start;
         let max = self.cfg.max_results;
         let accepted = &mut self.accepted;
         let mut done = false;
+        let mut halted = false;
         let mut sink = |inst: CInstance| {
-            accepted.push((inst, start.elapsed()));
+            let t = start.elapsed();
+            let keep_streaming = observer(&inst, t);
+            accepted.push((inst, t));
+            if !keep_streaming {
+                halted = true;
+                done = true;
+                return false;
+            }
             if max.is_some_and(|m| accepted.len() >= m) {
                 done = true;
                 false
@@ -235,7 +396,8 @@ impl<'a> Chase<'a> {
             );
         }
         self.done |= done;
-        self.timed_out |= self.ctxs.iter().any(|c| c.timed_out);
+        self.halted |= halted;
+        self.collect_ctx_flags();
     }
 
     /// Runs a batch of independent root searches. With a thread budget and
@@ -244,32 +406,56 @@ impl<'a> Chase<'a> {
     /// instances are merged in job order — identical output to running the
     /// jobs one by one.
     pub fn run_roots(&mut self, jobs: Vec<RootJob<'_>>) {
+        self.run_roots_observed(jobs, &mut |_, _| true);
+    }
+
+    /// [`Chase::run_roots`] with an acceptance observer (see
+    /// [`Chase::run_root_observed`]). Under job-level fan-out the observer
+    /// fires at the deterministic job-order merge.
+    pub fn run_roots_observed(
+        &mut self,
+        jobs: Vec<RootJob<'_>>,
+        observer: &mut dyn FnMut(&CInstance, Duration) -> bool,
+    ) {
         if jobs.is_empty() || self.done {
             return;
         }
         if self.threads > 1 && jobs.len() > 1 {
-            self.run_roots_parallel(jobs);
+            self.run_roots_parallel(jobs, observer);
         } else {
             for job in jobs {
-                if self.timed_out || self.done {
+                if self.timed_out || self.cancelled || self.done {
                     break;
                 }
-                self.run_root(job.formula, job.seed, job.h);
+                self.run_root_observed(job.formula, job.seed, job.h, observer);
             }
         }
     }
 
-    fn run_roots_parallel(&mut self, jobs: Vec<RootJob<'_>>) {
+    fn run_roots_parallel(
+        &mut self,
+        jobs: Vec<RootJob<'_>>,
+        observer: &mut dyn FnMut(&CInstance, Duration) -> bool,
+    ) {
         let query = self.query;
         let cfg = self.cfg;
         let universal_fresh = self.universal_fresh;
         let deadline = self.deadline;
+        let cancel = self.cancel.clone();
         let max = cfg.max_results;
         let start = self.start;
+        let query_key = self.query_key;
         let per_job: Vec<Vec<(CInstance, Duration)>> =
             parallel_for(&mut self.ctxs, &jobs, |ctx, _, job| {
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     ctx.timed_out = true;
+                    return Vec::new();
+                }
+                if cancel
+                    .as_ref()
+                    .is_some_and(|t| t.flag().load(Ordering::Relaxed))
+                {
+                    ctx.cancelled = true;
                     return Vec::new();
                 }
                 let (i0, h0) =
@@ -279,8 +465,10 @@ impl<'a> Chase<'a> {
                     cfg,
                     universal_fresh,
                     deadline,
+                    cancel: cancel.as_ref().map(|t| t.flag()),
                     formula: job.formula,
                     h0: &h0,
+                    query_key,
                 };
                 let mut acc: Vec<(CInstance, Duration)> = Vec::new();
                 let mut sink = |inst: CInstance| {
@@ -296,17 +484,25 @@ impl<'a> Chase<'a> {
         // Deterministic merge: job order, truncated at the global cap
         // exactly where a sequential run would have stopped. (The log stays
         // in job order; timestamps are wall-clock and may interleave across
-        // jobs, as they legitimately do.)
+        // jobs, as they legitimately do.) The observer fires here, at the
+        // merge point — job-level fan-out is a batch barrier, unlike the
+        // per-wave flushing of the wave-parallel scheduler.
         'merge: for acc in per_job {
-            for entry in acc {
-                self.accepted.push(entry);
+            for (inst, t) in acc {
+                let keep_streaming = observer(&inst, t);
+                self.accepted.push((inst, t));
+                if !keep_streaming {
+                    self.halted = true;
+                    self.done = true;
+                    break 'merge;
+                }
                 if max.is_some_and(|m| self.accepted.len() >= m) {
                     self.done = true;
                     break 'merge;
                 }
             }
         }
-        self.timed_out |= self.ctxs.iter().any(|c| c.timed_out);
+        self.collect_ctx_flags();
     }
 
 }
@@ -339,8 +535,10 @@ struct RootTask<'t> {
     cfg: &'t ChaseConfig,
     universal_fresh: bool,
     deadline: Option<Instant>,
+    cancel: Option<&'t AtomicBool>,
     formula: &'t Formula,
     h0: &'t Hom,
+    query_key: u64,
 }
 
 impl FrontierTask for RootTask<'_> {
@@ -368,6 +566,10 @@ impl FrontierTask for RootTask<'_> {
             ctx.timed_out = true;
             return true;
         }
+        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            ctx.cancelled = true;
+            return true;
+        }
         false
     }
 
@@ -377,6 +579,8 @@ impl FrontierTask for RootTask<'_> {
             cfg: self.cfg,
             universal_fresh: self.universal_fresh,
             deadline: self.deadline,
+            cancel: self.cancel,
+            query_key: self.query_key,
             ctx,
         };
         // Line 13: Tree-SAT under the root homomorphism ∧ IsConsistent(I).
@@ -411,6 +615,8 @@ struct Engine<'e> {
     cfg: &'e ChaseConfig,
     universal_fresh: bool,
     deadline: Option<Instant>,
+    cancel: Option<&'e AtomicBool>,
+    query_key: u64,
     ctx: &'e mut WorkerCtx,
 }
 
@@ -421,6 +627,10 @@ impl Engine<'_> {
                 self.ctx.timed_out = true;
                 return true;
             }
+        }
+        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            self.ctx.cancelled = true;
+            return true;
         }
         false
     }
@@ -579,9 +789,10 @@ impl Engine<'_> {
     /// `Tree-Chase-BFS` (Algorithm 1) for recursive (sub-formula) calls,
     /// memoized on (subtree, instance, relevant homomorphism entries).
     fn bfs(&mut self, q: &Formula, h0: &Hom, i0: &CInstance) -> Vec<CInstance> {
-        // Key: subtree structure + exact instance + the homomorphism
-        // entries its free variables see.
-        let fkey = hash_of(&format!("{q:?}"));
+        // Key: query identity (variable names/domains — see
+        // `Chase::query_key`) + subtree structure + exact instance + the
+        // homomorphism entries its free variables see.
+        let fkey = hash_of(&(self.query_key, format!("{q:?}")));
         let ikey = exact_digest(i0);
         let hkey = {
             let mut hh = DefaultHasher::new();
@@ -596,8 +807,9 @@ impl Engine<'_> {
             return cached.clone();
         }
         let res = self.bfs_inner(q, h0, i0);
-        // Results truncated by timeout must not poison the cache.
-        if !self.ctx.timed_out && self.ctx.bfs_memo.len() < 400_000 {
+        // Results truncated by timeout/cancellation must not poison the
+        // cache (it outlives the run now that sessions recycle contexts).
+        if !self.ctx.timed_out && !self.ctx.cancelled && self.ctx.bfs_memo.len() < 400_000 {
             self.ctx.bfs_memo.insert(key, res.clone());
         }
         res
@@ -1021,6 +1233,60 @@ mod tests {
             vec![None; q.vars.len()],
         );
         assert_eq!(chase.accepted.len(), 1);
+    }
+
+    #[test]
+    fn reused_caches_cleared_when_answer_affecting_params_change() {
+        // The bfs/consistency memos are only valid under the (limit,
+        // enforce_keys, universal_fresh) they were computed with; reusing
+        // them across a parameter change would silently change answers
+        // (bfs_inner prunes on cfg.limit, Handle-Universal branches on
+        // universal_fresh, IsConsistent depends on enforce_keys).
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (b1) | exists d1 (Likes(d1, b1)) and exists x1, p1 (Serves(x1, b1, p1)) }",
+        )
+        .unwrap();
+        let run = |cfg: &ChaseConfig, fresh: bool, caches: &mut ChaseCaches| {
+            let mut chase = Chase::new_reusing(&q, cfg, fresh, caches);
+            chase.run_root(
+                &q.formula.clone(),
+                CInstance::new(Arc::clone(&s)),
+                vec![None; q.vars.len()],
+            );
+            chase.recycle_into(caches);
+        };
+        let memo_sizes = |caches: &ChaseCaches| -> (usize, usize) {
+            let c = &caches.ctxs[0];
+            (c.bfs_memo.len(), c.consist_memo.len())
+        };
+        let mut caches = ChaseCaches::new();
+        let cfg4 = ChaseConfig::with_limit(4);
+        let cfg6 = ChaseConfig::with_limit(6);
+        let cfg6_keys = ChaseConfig::with_limit(6).enforce_keys(true);
+        run(&cfg4, true, &mut caches);
+        let (bfs, consist) = memo_sizes(&caches);
+        assert!(bfs > 0 && consist > 0, "run must populate the memos");
+        // Same parameters: memos survive (the warm-session fast path).
+        run(&cfg4, true, &mut caches);
+        let (bfs2, consist2) = memo_sizes(&caches);
+        assert!(bfs2 >= bfs && consist2 >= consist);
+        // Limit change: cleared before the run starts.
+        let chase = Chase::new_reusing(&q, &cfg6, true, &mut caches);
+        assert_eq!((chase.ctxs[0].bfs_memo.len(), chase.ctxs[0].consist_memo.len()), (0, 0));
+        chase.recycle_into(&mut caches);
+        // universal_fresh change: cleared too.
+        run(&cfg6, true, &mut caches);
+        assert!(memo_sizes(&caches).0 > 0);
+        let chase = Chase::new_reusing(&q, &cfg6, false, &mut caches);
+        assert_eq!(chase.ctxs[0].bfs_memo.len(), 0);
+        chase.recycle_into(&mut caches);
+        // enforce_keys change: cleared as well.
+        run(&cfg6, false, &mut caches);
+        assert!(memo_sizes(&caches).1 > 0);
+        let chase = Chase::new_reusing(&q, &cfg6_keys, false, &mut caches);
+        assert_eq!(chase.ctxs[0].consist_memo.len(), 0);
     }
 
     #[test]

@@ -1,6 +1,41 @@
 //! Chase configuration and the six algorithm variants of §5.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A shareable cooperative-cancellation flag for one explain/chase run.
+///
+/// Clone it, hand one copy to [`ChaseConfig::cancel`] (or
+/// `ExplainRequest::cancel`), keep the other, and call [`cancel`] from any
+/// thread: the chase polls the flag on the same per-step loop that checks
+/// the wall-clock deadline, stops, and returns the instances accepted so
+/// far flagged [`crate::Interrupted::Cancelled`]. When no token is
+/// installed the hot path only pays an `Option` check.
+///
+/// [`cancel`]: CancelToken::cancel
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag, for the chase's polling loop.
+    pub(crate) fn flag(&self) -> &AtomicBool {
+        &self.0
+    }
+}
 
 /// The algorithm variants compared throughout the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -110,6 +145,11 @@ pub struct ChaseConfig {
     /// processing instead of fanning out (thread/dedupe overhead only pays
     /// for itself on wide frontiers). Only consulted when `threads != 1`.
     pub parallel_min_frontier: usize,
+    /// Cooperative cancellation: when the token fires, the run stops at the
+    /// next per-step poll (the same loop that checks `timeout`) and returns
+    /// the instances accepted so far. `None` (the default) costs nothing on
+    /// the hot path.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ChaseConfig {
@@ -126,6 +166,7 @@ impl ChaseConfig {
             incremental_min_lits: 6,
             threads: 1,
             parallel_min_frontier: 4,
+            cancel: None,
         }
     }
 
@@ -174,6 +215,11 @@ impl ChaseConfig {
         self
     }
 
+    pub fn cancel(mut self, token: CancelToken) -> ChaseConfig {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The effective worker count: `0` resolves to the machine's available
     /// parallelism.
     pub fn resolved_threads(&self) -> usize {
@@ -216,6 +262,19 @@ mod tests {
         let cold = c.solver_cache(false).incremental(false).solver_cache_capacity(16);
         assert!(!cold.solver_cache && !cold.incremental);
         assert_eq!(cold.solver_cache_capacity, 16);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_through_the_config() {
+        let tok = CancelToken::new();
+        assert!(!tok.is_cancelled());
+        let cfg = ChaseConfig::with_limit(3).cancel(tok.clone());
+        assert!(!cfg.cancel.as_ref().unwrap().is_cancelled());
+        tok.cancel();
+        // Clones share one flag — firing the caller's copy is visible
+        // through the config's.
+        assert!(cfg.cancel.unwrap().is_cancelled());
+        assert!(ChaseConfig::with_limit(3).cancel.is_none(), "off by default");
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub fn cq_neg_universal_solution(tree: &SyntaxTree, enforce_keys: bool) -> Optio
         instances,
         raw_accepted,
         timed_out: false,
+        interrupted: None,
         total_time: start.elapsed(),
     })
 }

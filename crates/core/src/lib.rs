@@ -7,7 +7,13 @@
 //!
 //! ## Entry points
 //!
-//! * [`run_variant`] — run one of the six algorithm variants of §5
+//! * [`Session`] — the primary API: schema + tuned [`ChaseConfig`] + warm
+//!   solver caches, reusable across queries. [`Session::explain`] accepts
+//!   DRC text, SQL, or a pre-parsed tree ([`QueryInput`]) and streams
+//!   [`AcceptedInstance`]s as the chase finds them ([`SolutionStream`]),
+//!   with per-request `limit`/`deadline`/`cancel`.
+//! * [`run_variant`] — the original batch entry point, now a thin wrapper
+//!   over a one-shot session: run one of the six algorithm variants of §5
 //!   (`Disj/Conj × Naive/EO/Add`) on a query, producing a [`CSolution`].
 //! * [`cq_neg_universal_solution`] — the poly-time universal solution for
 //!   CQ¬ queries (Proposition 3.1(1)).
@@ -18,8 +24,7 @@
 //! ```
 //! use std::sync::Arc;
 //! use cqi_schema::{DomainType, Schema};
-//! use cqi_drc::{parse_query, SyntaxTree};
-//! use cqi_core::{run_variant, ChaseConfig, Variant};
+//! use cqi_core::{ExplainRequest, Session, Variant};
 //!
 //! let schema = Arc::new(
 //!     Schema::builder()
@@ -27,9 +32,11 @@
 //!         .build()
 //!         .unwrap(),
 //! );
-//! let q = parse_query(&schema, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
-//! let tree = SyntaxTree::new(q);
-//! let sol = run_variant(&tree, Variant::ConjAdd, &ChaseConfig::with_limit(6));
+//! let session = Session::new(schema);
+//! let req = ExplainRequest::drc("{ (b1) | exists d1 (Likes(d1, b1)) }")
+//!     .variant(Variant::ConjAdd)
+//!     .limit(6);
+//! let sol = session.explain_collect(req).unwrap();
 //! assert!(!sol.instances.is_empty());
 //! ```
 
@@ -39,15 +46,18 @@ pub mod conjtree;
 pub mod cover;
 pub mod cqneg;
 pub mod dnf;
+pub mod session;
 pub mod solution;
 pub mod testgen;
 pub mod treesat;
 pub mod variants;
 
-pub use config::{ChaseConfig, Variant};
+pub use chase::ChaseCaches;
+pub use config::{CancelToken, ChaseConfig, Variant};
 pub use cover::coverage_of_cinstance;
 pub use cqneg::cq_neg_universal_solution;
-pub use solution::{CSolution, SatInstance};
+pub use session::{ExplainRequest, QueryInput, Session, SolutionStream};
+pub use solution::{AcceptedInstance, CSolution, Interrupted, SatInstance};
 pub use treesat::tree_sat;
 pub use testgen::{generate_selective_instance, generate_test_matrix};
-pub use variants::{run_variant, run_variant_deepening};
+pub use variants::{run_variant, run_variant_deepening, run_variant_observed};

@@ -6,7 +6,84 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use cqi_drc::Coverage;
-use cqi_instance::CInstance;
+use cqi_instance::{json_escape, CInstance};
+
+/// Why an explain/chase run stopped before exhausting the search space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupted {
+    /// The wall-clock deadline (`ChaseConfig::timeout` /
+    /// `ExplainRequest::deadline`) expired.
+    Deadline,
+    /// A [`crate::CancelToken`] fired mid-drive, or the streaming consumer
+    /// stopped (an `explain_with` callback returned `false`, or a
+    /// `SolutionStream` was dropped).
+    Cancelled,
+}
+
+impl Interrupted {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Interrupted::Deadline => "deadline",
+            Interrupted::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One satisfying c-instance as it leaves the chase, already validated
+/// against the original syntax tree and annotated with its coverage — the
+/// item type of a streaming `SolutionStream` (§5.1 interactivity: instances
+/// are useful *as they arrive*, before minimization).
+#[derive(Clone, Debug)]
+pub struct AcceptedInstance {
+    /// Position in the deterministic *validated* accepted stream
+    /// (0-based). Identical across thread budgets — the runtime's
+    /// determinism guarantee. Note this indexes the stream, not the raw
+    /// accepted log: under conjunctive variants an accept that fails the
+    /// original-tree re-check is counted by `CSolution::raw_accepted` but
+    /// never streamed.
+    pub ordinal: usize,
+    pub inst: CInstance,
+    pub coverage: Coverage,
+    /// Wall-clock offset from the start of the drive at the moment of
+    /// acceptance.
+    pub accepted_at: Duration,
+}
+
+impl AcceptedInstance {
+    pub fn size(&self) -> usize {
+        self.inst.size()
+    }
+
+    /// Serde-free JSON rendering for service responses: ordinal, timing,
+    /// coverage, and the full instance (see [`CInstance::to_json`]).
+    pub fn to_json(&self) -> String {
+        instance_entry_json(
+            &format!("\"ordinal\": {}", self.ordinal),
+            &self.inst,
+            &self.coverage,
+            self.accepted_at,
+        )
+    }
+}
+
+/// The shared JSON shape of one rendered instance entry: a leading field,
+/// then timing, coverage, and the full instance. Both
+/// [`AcceptedInstance::to_json`] and [`CSolution::to_json`] emit it, so
+/// service consumers parse a single schema.
+fn instance_entry_json(
+    lead: &str,
+    inst: &CInstance,
+    coverage: &Coverage,
+    accepted_at: Duration,
+) -> String {
+    let cov: Vec<String> = coverage.iter().map(|l| l.0.to_string()).collect();
+    format!(
+        "{{{lead}, \"accepted_at_ms\": {:.3}, \"coverage\": [{}], \"instance\": {}}}",
+        accepted_at.as_secs_f64() * 1e3,
+        cov.join(", "),
+        inst.to_json()
+    )
+}
 
 /// One satisfying c-instance together with its coverage and the moment it
 /// was accepted by the search.
@@ -31,7 +108,14 @@ pub struct CSolution {
     pub instances: Vec<SatInstance>,
     /// Satisfying instances accepted before minimization.
     pub raw_accepted: usize,
+    /// The wall-clock deadline was observed (kept for compatibility).
+    /// Usually equals `interrupted == Some(Interrupted::Deadline)`, but
+    /// when a run sees both the deadline and a cancellation, `interrupted`
+    /// reports `Cancelled` while this stays `true`.
     pub timed_out: bool,
+    /// `Some` when the run stopped early (deadline or cancellation); the
+    /// instances found so far are still returned.
+    pub interrupted: Option<Interrupted>,
     pub total_time: Duration,
 }
 
@@ -68,6 +152,35 @@ impl CSolution {
     /// Time until the first instance was emitted (§5.1 interactivity).
     pub fn time_to_first(&self) -> Option<Duration> {
         self.instances.iter().map(|i| i.accepted_at).min()
+    }
+
+    /// Serde-free JSON rendering of the whole solution for service
+    /// responses: run status/statistics plus every minimal instance with
+    /// its coverage and rendered conditions.
+    pub fn to_json(&self) -> String {
+        let status = match self.interrupted {
+            None => "complete",
+            Some(i) => i.as_str(),
+        };
+        let instances: Vec<String> = self
+            .instances
+            .iter()
+            .map(|si| {
+                instance_entry_json(
+                    &format!("\"size\": {}", si.size()),
+                    &si.inst,
+                    &si.coverage,
+                    si.accepted_at,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"status\": \"{}\", \"raw_accepted\": {}, \"total_time_ms\": {:.3}, \"instances\": [{}]}}",
+            json_escape(status),
+            self.raw_accepted,
+            self.total_time.as_secs_f64() * 1e3,
+            instances.join(", ")
+        )
     }
 
     /// Mean delay between consecutive emissions of instances with distinct
@@ -156,6 +269,7 @@ mod tests {
             instances: out,
             raw_accepted: 3,
             timed_out: false,
+            interrupted: None,
             total_time: Duration::from_millis(80),
         };
         assert_eq!(sol.num_coverages(), 3);

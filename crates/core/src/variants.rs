@@ -1,38 +1,175 @@
 //! The six algorithm variants of §5 and the shared finalization pipeline
 //! (original-tree validation → coverage → minimality post-processing).
 
+use std::time::Duration;
+
 use cqi_drc::{Atom, Coverage, Formula, SyntaxTree, Term};
 use cqi_instance::CInstance;
 use cqi_solver::Ent;
 
-use crate::chase::{materialize, Chase, RootJob};
+use crate::chase::{materialize, Chase, ChaseCaches, RootJob};
 use crate::config::{ChaseConfig, Variant};
 use crate::conjtree::conjunctive_trees;
 use crate::cover::coverage_of_cinstance_keys;
-use crate::solution::{minimize, CSolution};
+use crate::session::{ExplainRequest, Session};
+use crate::solution::{minimize, AcceptedInstance, CSolution, Interrupted};
 use crate::treesat::{Hom, SatCtx};
 
 /// Runs one variant on a query's syntax tree and returns its minimal
 /// c-solution.
 ///
-/// Both phases (the per-tree roots and the `*-Add` re-seeds) are batches of
-/// independent root searches routed through [`Chase::run_roots`]: with
-/// `cfg.threads != 1` whole roots fan out across workers, and each root's
-/// own frontier is driven by the `cqi-runtime` scheduler — sequentially or
-/// wave-parallel — with identical output either way.
+/// This is the original batch entry point, kept as a thin wrapper over a
+/// one-shot [`Session`]: prefer [`Session::explain`] for streaming results,
+/// deadlines-with-status, cancellation, and warm solver caches across
+/// queries.
 pub fn run_variant(tree: &SyntaxTree, variant: Variant, cfg: &ChaseConfig) -> CSolution {
+    Session::new(tree.query().schema.clone())
+        .config(cfg.clone())
+        .explain_collect(ExplainRequest::tree(tree).variant(variant))
+        .expect("pre-parsed trees compile unconditionally")
+}
+
+/// The engine behind [`Session::explain`] and [`run_variant`]: runs one
+/// variant, calling `observer` with every accepted instance — already
+/// validated against the *original* tree and annotated with coverage — in
+/// the deterministic accepted order, as the drive produces it (per step
+/// sequentially, per wave under the wave-parallel scheduler, per job batch
+/// under root fan-out). `observer` returning `false` halts the drive; the
+/// instances streamed so far still make up the returned solution, flagged
+/// [`Interrupted::Cancelled`].
+pub fn run_variant_observed(
+    tree: &SyntaxTree,
+    variant: Variant,
+    cfg: &ChaseConfig,
+    caches: &mut ChaseCaches,
+    observer: &mut dyn FnMut(AcceptedInstance) -> bool,
+) -> CSolution {
+    run_variant_inner(tree, variant, cfg, caches, Some(observer))
+}
+
+/// Batch form of [`run_variant_observed`]: no per-acceptance callback, so
+/// validation/coverage run once at drive end by *moving* the accepted log
+/// (no instance clones — the original `run_variant` cost profile).
+pub(crate) fn run_variant_batch(
+    tree: &SyntaxTree,
+    variant: Variant,
+    cfg: &ChaseConfig,
+    caches: &mut ChaseCaches,
+) -> CSolution {
+    run_variant_inner(tree, variant, cfg, caches, None)
+}
+
+/// Original-tree validation (conjunctive trees only imply the original —
+/// re-check, for soundness) and coverage of one accepted instance. `None`
+/// means the instance does not satisfy the original tree. An empty
+/// coverage is legitimate for vacuously satisfied queries (e.g. a Boolean
+/// ∀-only query on the empty instance).
+fn validated_coverage(
+    q: &cqi_drc::Query,
+    inst: &CInstance,
+    enforce_keys: bool,
+) -> Option<Coverage> {
+    let ctx = SatCtx::new(q, inst, enforce_keys);
+    if !ctx.tree_sat(&q.formula, &vec![None; q.vars.len()]) {
+        return None;
+    }
+    drop(ctx);
+    Some(coverage_of_cinstance_keys(q, inst, enforce_keys))
+}
+
+fn run_variant_inner(
+    tree: &SyntaxTree,
+    variant: Variant,
+    cfg: &ChaseConfig,
+    caches: &mut ChaseCaches,
+    observer: Option<&mut dyn FnMut(AcceptedInstance) -> bool>,
+) -> CSolution {
     let q = tree.query();
     let universal_fresh = cfg
         .universal_fresh_nulls
         .unwrap_or_else(|| variant.universal_fresh_nulls());
-    let mut chase = Chase::new(q, cfg, universal_fresh);
+    let mut chase = Chase::new_reusing(q, cfg, universal_fresh, caches);
+
+    let (entries, raw_accepted) = match observer {
+        Some(observer) => {
+            // Streaming: validation + coverage move from drive-end
+            // finalization to acceptance time, so consumers see instances
+            // while the search is still running; the computation (and thus
+            // the batch result) is unchanged.
+            let enforce_keys = cfg.enforce_keys;
+            let mut entries: Vec<(CInstance, Coverage, Duration)> = Vec::new();
+            let mut validate = |inst: &CInstance, t: Duration| -> bool {
+                let Some(coverage) = validated_coverage(q, inst, enforce_keys) else {
+                    return true;
+                };
+                let acc = AcceptedInstance {
+                    ordinal: entries.len(),
+                    inst: inst.clone(),
+                    coverage: coverage.clone(),
+                    accepted_at: t,
+                };
+                entries.push((inst.clone(), coverage, t));
+                observer(acc)
+            };
+            drive_phases(&mut chase, tree, variant, &mut validate);
+            let raw = chase.accepted.len();
+            (entries, raw)
+        }
+        None => {
+            // Batch: drive with a no-op observer, then validate by moving
+            // the accepted log (zero clones on the hot benchmark path).
+            drive_phases(&mut chase, tree, variant, &mut |_, _| true);
+            let accepted = std::mem::take(&mut chase.accepted);
+            let raw = accepted.len();
+            let mut entries = Vec::with_capacity(raw);
+            for (inst, t) in accepted {
+                if let Some(coverage) = validated_coverage(q, &inst, cfg.enforce_keys) {
+                    entries.push((inst, coverage, t));
+                }
+            }
+            (entries, raw)
+        }
+    };
+
+    let interrupted = if chase.cancelled || chase.halted {
+        Some(Interrupted::Cancelled)
+    } else if chase.timed_out {
+        Some(Interrupted::Deadline)
+    } else {
+        None
+    };
+    let sol = CSolution {
+        instances: minimize(entries),
+        raw_accepted,
+        timed_out: chase.timed_out,
+        interrupted,
+        total_time: chase.start.elapsed(),
+    };
+    chase.recycle_into(caches);
+    sol
+}
+
+/// Both phases of one variant run — the per-tree roots and the `*-Add`
+/// re-seeds — as batches of independent root searches routed through
+/// [`Chase::run_roots_observed`]: with `cfg.threads != 1` whole roots fan
+/// out across workers, and each root's own frontier is driven by the
+/// `cqi-runtime` scheduler — sequentially or wave-parallel — with
+/// identical output either way.
+fn drive_phases(
+    chase: &mut Chase<'_>,
+    tree: &SyntaxTree,
+    variant: Variant,
+    observer: &mut dyn FnMut(&CInstance, std::time::Duration) -> bool,
+) {
+    let q = tree.query();
+    let cfg = chase.cfg;
     let formulas: Vec<Formula> = if variant.is_conjunctive() {
         conjunctive_trees(&q.formula)
     } else {
         vec![q.formula.clone()]
     };
     let empty_h: Hom = vec![None; q.vars.len()];
-    chase.run_roots(
+    chase.run_roots_observed(
         formulas
             .iter()
             .map(|f| RootJob {
@@ -41,9 +178,10 @@ pub fn run_variant(tree: &SyntaxTree, variant: Variant, cfg: &ChaseConfig) -> CS
                 h: empty_h.clone(),
             })
             .collect(),
+        observer,
     );
 
-    if variant.is_add() && !chase.timed_out {
+    if variant.is_add() && !chase.timed_out && !chase.cancelled && !chase.halted {
         // Which original leaves are still uncovered by any accepted
         // instance? (Snapshot semantics: every re-seed job below is judged
         // against this one coverage set, which is what makes the jobs
@@ -70,10 +208,8 @@ pub fn run_variant(tree: &SyntaxTree, variant: Variant, cfg: &ChaseConfig) -> CS
                 });
             }
         }
-        chase.run_roots(jobs);
+        chase.run_roots_observed(jobs, observer);
     }
-
-    finalize(tree, chase)
 }
 
 /// Iterative deepening (§4.3 "another alternative, aimed at an interactive
@@ -101,7 +237,7 @@ pub fn run_variant_deepening(
         cfg.limit = limit;
         cfg.timeout = Some(remaining);
         let sol = run_variant(tree, variant, &cfg);
-        let finished = !sol.timed_out;
+        let finished = sol.interrupted.is_none();
         let better = match &best {
             None => true,
             Some((b, _)) => sol.num_coverages() >= b.num_coverages(),
@@ -145,34 +281,6 @@ fn seed_for_leaf(
         }
     }
     Some((seeded, h0))
-}
-
-/// Validates accepted instances against the *original* tree, computes
-/// coverage, and minimizes per coverage.
-fn finalize(tree: &SyntaxTree, chase: Chase<'_>) -> CSolution {
-    let q = tree.query();
-    let raw_accepted = chase.accepted.len();
-    let total_time = chase.start.elapsed();
-    let mut entries = Vec::with_capacity(raw_accepted);
-    let enforce_keys = chase.cfg.enforce_keys;
-    for (inst, t) in chase.accepted {
-        // Conjunctive trees only imply the original; re-check (soundness).
-        let ctx = SatCtx::new(q, &inst, enforce_keys);
-        if !ctx.tree_sat(&q.formula, &vec![None; q.vars.len()]) {
-            continue;
-        }
-        drop(ctx);
-        // An empty coverage is legitimate for vacuously satisfied queries
-        // (e.g. a Boolean ∀-only query on the empty instance).
-        let coverage = coverage_of_cinstance_keys(q, &inst, enforce_keys);
-        entries.push((inst, coverage, t));
-    }
-    CSolution {
-        instances: minimize(entries),
-        raw_accepted,
-        timed_out: chase.timed_out,
-        total_time,
-    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 //!   c-instance via the solver's model.
 //! * Isomorphism modulo renaming of labeled nulls — the `visited` check of
 //!   Algorithm 1 (line 10).
+//! * Serde-free JSON rendering ([`CInstance::to_json`]) for service
+//!   responses from the streaming explanation API.
 
 pub mod cinstance;
 pub mod consistency;
@@ -22,8 +24,10 @@ pub mod display;
 pub mod ground;
 pub mod grounding;
 pub mod iso;
+pub mod json;
 
 pub use cinstance::{CInstance, Cond, NullInfo};
 pub use ground::GroundInstance;
 pub use grounding::ground_instance;
 pub use iso::{exact_digest, is_isomorphic, signature};
+pub use json::{json_escape, json_well_formed};

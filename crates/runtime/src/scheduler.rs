@@ -55,7 +55,14 @@ pub trait FrontierTask: Sync {
 
 /// Drives a [`FrontierTask`] to exhaustion. `sink` receives accepted
 /// results in deterministic FIFO order; returning `false` halts the drive
-/// (the chase's `max_results`).
+/// (the chase's `max_results`, or a streaming consumer that walked away).
+///
+/// **Streaming contract:** accepted results are flushed to `sink` *during*
+/// the drive — per item in the sequential driver, per wave in the parallel
+/// one (wave `k`'s accepts are sunk before wave `k+1` expands) — never
+/// batched to the end. The streaming explanation API (`cqi::Session`)
+/// relies on this for its time-to-first-instance guarantee; the
+/// `sink_flushes_per_wave_not_at_drive_end` test pins it down.
 pub trait FrontierScheduler<T: FrontierTask> {
     fn drive(
         &self,
@@ -417,6 +424,67 @@ mod tests {
             ctxs[1..].iter().all(|c| c.expansions == 0),
             "spilled waves must not fan out"
         );
+    }
+
+    /// [`TreeTask`] with an event log shared between expansion and the
+    /// sink, to observe their interleaving.
+    struct LoggingTask {
+        inner: TreeTask,
+        log: std::sync::Mutex<Vec<(&'static str, u64)>>,
+    }
+
+    impl FrontierTask for LoggingTask {
+        type Item = Node;
+        type Ctx = Ctx;
+        type Accept = u64;
+
+        fn admit(&self, item: &Node) -> bool {
+            self.inner.admit(item)
+        }
+
+        fn keys(&self, item: &Node) -> SetKey {
+            self.inner.keys(item)
+        }
+
+        fn is_duplicate(&self, a: &Node, b: &Node) -> bool {
+            self.inner.is_duplicate(a, b)
+        }
+
+        fn expand(&self, ctx: &mut Ctx, item: &Node) -> Expansion<Node, u64> {
+            self.log.lock().unwrap().push(("expand", item.value));
+            self.inner.expand(ctx, item)
+        }
+
+        fn stopped(&self, _: &mut Ctx) -> bool {
+            false
+        }
+    }
+
+    /// The streaming contract: accepted results reach the sink between
+    /// waves, not in one batch at drive end. With a multi-wave tree, some
+    /// accept event must precede the last expansion event.
+    #[test]
+    fn sink_flushes_per_wave_not_at_drive_end() {
+        for workers in [1usize, 4] {
+            let task = LoggingTask {
+                inner: task(),
+                log: std::sync::Mutex::new(Vec::new()),
+            };
+            let mut ctxs: Vec<Ctx> = (0..workers).map(|_| Ctx::default()).collect();
+            let seeds = vec![Node { value: 2, gen: 0 }, Node { value: 4, gen: 0 }];
+            ParallelScheduler::new(2).drive(&task, &mut ctxs, seeds, &mut |a| {
+                task.log.lock().unwrap().push(("accept", a));
+                true
+            });
+            let log = task.log.into_inner().unwrap();
+            let first_accept = log.iter().position(|(k, _)| *k == "accept");
+            let last_expand = log.iter().rposition(|(k, _)| *k == "expand");
+            assert!(
+                first_accept.unwrap() < last_expand.unwrap(),
+                "accepts must interleave with later-wave expansions \
+                 (workers={workers}): {log:?}"
+            );
+        }
     }
 
     #[test]

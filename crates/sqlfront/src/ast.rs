@@ -49,6 +49,15 @@ pub enum SqlCond {
     Not(Box<SqlCond>),
 }
 
+/// One output column of a `SELECT` list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*` (all columns of all tables, in FROM order) or qualified `t.*`
+    /// (all columns of the table aliased `t`).
+    Wildcard { alias: Option<String> },
+    Col(ColRef),
+}
+
 /// One `FROM` entry: `Relation [alias]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FromItem {
@@ -56,13 +65,16 @@ pub struct FromItem {
     pub alias: String,
 }
 
-/// A `SELECT` statement.
+/// A `SELECT` statement. `JOIN ... ON` in the FROM clause is parsed into
+/// plain `from` entries with the ON conditions conjoined into `where_`
+/// (inner-join semantics, which is all DRC needs).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SelectStmt {
     pub distinct: bool,
-    /// Output columns; empty means `SELECT *` (all columns of all tables,
-    /// in FROM order) — or a Boolean query inside `EXISTS`.
-    pub cols: Vec<ColRef>,
+    /// Output items; empty means `SELECT *` in hand-built ASTs — the
+    /// parser always emits explicit items ([`SelectItem::Wildcard`] for
+    /// `*`) — or a Boolean query inside `EXISTS`.
+    pub cols: Vec<SelectItem>,
     pub from: Vec<FromItem>,
     pub where_: Option<SqlCond>,
 }

@@ -3,8 +3,10 @@
 //! A small SQL front-end lowered to Domain Relational Calculus — enough to
 //! express every SQL query the paper shows (Fig. 9, Table 3): `SELECT
 //! [DISTINCT] ... FROM ... WHERE ...` with `AND`/`OR`/`NOT`, comparison and
-//! `LIKE` predicates, correlated `EXISTS` / `NOT EXISTS` subqueries, and
-//! `EXCEPT` (which lowers to [`cqi_drc::Query::difference`]).
+//! `LIKE` predicates, correlated `EXISTS` / `NOT EXISTS` subqueries,
+//! explicit `[INNER|CROSS] JOIN ... ON` (lowered like the comma-product
+//! form, with ON conditions conjoined into WHERE), qualified `SELECT t.*`,
+//! and `EXCEPT` (which lowers to [`cqi_drc::Query::difference`]).
 //!
 //! ```
 //! use std::sync::Arc;

@@ -13,7 +13,7 @@ use cqi_drc::normalize::negate;
 use cqi_drc::{Atom, CmpOp, Formula, Query, QueryError, Term, VarId};
 use cqi_schema::{RelId, Schema};
 
-use crate::ast::{ColRef, SelectStmt, SqlCond, SqlOp, SqlTerm};
+use crate::ast::{ColRef, SelectItem, SelectStmt, SqlCond, SqlOp, SqlTerm};
 use crate::parser::parse_sql;
 
 /// Compiles one SQL query over `schema` to a validated DRC [`Query`].
@@ -178,15 +178,32 @@ impl<'a> Lowerer<'a> {
         }
         let body = Formula::and_all(parts);
 
-        // Output variables.
+        // Output variables (post-substitution representatives).
         let outs: Vec<VarId> = if keep_outputs_free {
             if stmt.cols.is_empty() {
-                local_vars.clone() // SELECT *
+                // Hand-built ASTs may leave cols empty for `SELECT *`.
+                local_vars.iter().map(|v| self.find(*v)).collect()
             } else {
-                stmt.cols
-                    .iter()
-                    .map(|c| self.resolve(scope, local_start, c))
-                    .collect::<Result<_, _>>()?
+                let mut outs = Vec::new();
+                for item in &stmt.cols {
+                    match item {
+                        SelectItem::Wildcard { alias: None } => {
+                            outs.extend(local_vars.iter().map(|v| self.find(*v)));
+                        }
+                        SelectItem::Wildcard { alias: Some(a) } => {
+                            let frame = scope[local_start..]
+                                .iter()
+                                .find(|f| f.alias.eq_ignore_ascii_case(a))
+                                .ok_or_else(|| QueryError::Parse {
+                                    pos: 0,
+                                    msg: format!("cannot resolve table alias `{a}` in `{a}.*`"),
+                                })?;
+                            outs.extend(frame.vars.iter().map(|v| self.find(*v)));
+                        }
+                        SelectItem::Col(c) => outs.push(self.resolve(scope, local_start, c)?),
+                    }
+                }
+                outs
             }
         } else {
             Vec::new()
@@ -430,6 +447,70 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cqi_eval::evaluate(&sql, &g), cqi_eval::evaluate(&drc, &g));
+    }
+
+    #[test]
+    fn join_on_lowers_like_the_comma_form() {
+        // `JOIN ... ON` must compile to the same DRC as the classic
+        // comma-product + WHERE form: same shared-variable inlining, same
+        // leaves, same answers.
+        let s = schema();
+        let joined = sql_to_drc(
+            &s,
+            "SELECT S1.beer, S1.bar FROM Likes L \
+             JOIN Serves S1 ON L.beer = S1.beer \
+             JOIN Serves S2 ON L.beer = S2.beer \
+             WHERE L.drinker LIKE 'Eve%' AND S1.price > S2.price",
+        )
+        .unwrap();
+        let comma = sql_to_drc(
+            &s,
+            "SELECT S1.beer, S1.bar FROM Likes L, Serves S1, Serves S2 \
+             WHERE L.beer = S1.beer AND L.beer = S2.beer \
+             AND L.drinker LIKE 'Eve%' AND S1.price > S2.price",
+        )
+        .unwrap();
+        let leaves = |q: &cqi_drc::Query| {
+            let mut n = 0;
+            q.formula.for_each_atom(&mut |_| n += 1);
+            n
+        };
+        assert_eq!(leaves(&joined), leaves(&comma));
+        assert!(joined.is_cq_neg());
+        // Same answers on ground data.
+        use cqi_instance::GroundInstance;
+        let mut g = GroundInstance::new(Arc::clone(&s));
+        g.insert_named("Likes", &["Eve Edwards".into(), "APA".into()]);
+        g.insert_named("Serves", &["RM".into(), "APA".into(), cqi_schema::Value::real(2.25)]);
+        g.insert_named("Serves", &["RR".into(), "APA".into(), cqi_schema::Value::real(2.75)]);
+        assert_eq!(cqi_eval::evaluate(&joined, &g), cqi_eval::evaluate(&comma, &g));
+        assert!(!cqi_eval::evaluate(&joined, &g).is_empty());
+    }
+
+    #[test]
+    fn qualified_star_outputs_one_tables_columns() {
+        let s = schema();
+        let q = sql_to_drc(
+            &s,
+            "SELECT s.* FROM Serves s JOIN Likes l ON l.beer = s.beer",
+        )
+        .unwrap();
+        // Serves has 3 columns; Likes' stay existentially closed.
+        assert_eq!(q.out_vars.len(), 3);
+        let all = sql_to_drc(
+            &s,
+            "SELECT * FROM Serves s JOIN Likes l ON l.beer = s.beer",
+        )
+        .unwrap();
+        assert_eq!(all.out_vars.len(), 5);
+        // The joined beer column is one shared variable, present in both
+        // the s.* slice and the full * expansion.
+        assert!(all.out_vars.contains(&q.out_vars[1]));
+    }
+
+    #[test]
+    fn qualified_star_unknown_alias_errors() {
+        assert!(sql_to_drc(&schema(), "SELECT x.* FROM Serves s").is_err());
     }
 
     #[test]

@@ -4,7 +4,16 @@ use cqi_drc::lexer::{lex, Spanned, Tok};
 use cqi_drc::QueryError;
 use cqi_schema::Value;
 
-use crate::ast::{ColRef, FromItem, SelectStmt, SqlCond, SqlOp, SqlQuery, SqlTerm};
+use crate::ast::{ColRef, FromItem, SelectItem, SelectStmt, SqlCond, SqlOp, SqlQuery, SqlTerm};
+
+/// Identifiers that terminate a `FROM` entry and therefore cannot be
+/// implicit table aliases. The outer-join keywords are included so that
+/// `LEFT JOIN` is *rejected* with a clear error instead of `LEFT` silently
+/// becoming a table alias and the join degrading to inner semantics.
+const CLAUSE_KEYWORDS: [&str; 12] = [
+    "where", "except", "and", "or", "join", "inner", "cross", "on", "left", "right", "full",
+    "outer",
+];
 
 pub fn parse_sql(src: &str) -> Result<SqlQuery, QueryError> {
     let toks = lex(src)?;
@@ -86,53 +95,100 @@ impl P {
         self.expect_kw("select")?;
         let distinct = self.eat_kw("distinct");
         let mut cols = Vec::new();
-        if self.peek() == Some(&Tok::Star) {
-            self.i += 1; // SELECT * — empty cols means "all"
-        } else {
-            loop {
-                cols.push(self.col_ref()?);
-                if self.peek() == Some(&Tok::Comma) {
-                    self.i += 1;
-                } else {
-                    break;
-                }
-            }
-        }
-        self.expect_kw("from")?;
-        let mut from = Vec::new();
         loop {
-            let relation = self.ident()?;
-            // Optional alias (an identifier that is not a clause keyword).
-            let alias = match self.peek() {
-                Some(Tok::Ident(s))
-                    if !["where", "except", "and", "or"]
-                        .iter()
-                        .any(|k| s.eq_ignore_ascii_case(k)) =>
-                {
-                    let a = s.clone();
-                    self.i += 1;
-                    a
-                }
-                _ => relation.clone(),
-            };
-            from.push(FromItem { relation, alias });
+            cols.push(self.select_item()?);
             if self.peek() == Some(&Tok::Comma) {
                 self.i += 1;
             } else {
                 break;
             }
         }
-        let where_ = if self.eat_kw("where") {
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        // Comma-separated products and explicit `[INNER|CROSS] JOIN`s mix
+        // freely; every ON condition is conjoined into the WHERE clause
+        // (inner-join semantics), where the equality-inlining of the
+        // lowerer picks it up like any hand-written join predicate.
+        let mut join_conds: Vec<SqlCond> = Vec::new();
+        loop {
+            if self.peek() == Some(&Tok::Comma) {
+                self.i += 1;
+                from.push(self.table_ref()?);
+                continue;
+            }
+            if self.is_kw("left") || self.is_kw("right") || self.is_kw("full") || self.is_kw("outer")
+            {
+                return Err(self.err(
+                    "outer joins are not supported — only [INNER|CROSS] JOIN ... ON \
+                     (inner semantics) lowers to DRC",
+                ));
+            }
+            if self.is_kw("join") || self.is_kw("inner") || self.is_kw("cross") {
+                let cross = self.eat_kw("cross");
+                if !cross {
+                    self.eat_kw("inner");
+                }
+                self.expect_kw("join")?;
+                from.push(self.table_ref()?);
+                if !cross {
+                    self.expect_kw("on")?;
+                    join_conds.push(self.cond()?);
+                }
+                continue;
+            }
+            break;
+        }
+        let mut where_ = if self.eat_kw("where") {
             Some(self.cond()?)
         } else {
             None
         };
+        // ON conditions first, WHERE last — the order a reader sees them.
+        for c in join_conds.into_iter().rev() {
+            where_ = Some(match where_ {
+                Some(w) => SqlCond::And(Box::new(c), Box::new(w)),
+                None => c,
+            });
+        }
         Ok(SelectStmt {
             distinct,
             cols,
             from,
             where_,
         })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, QueryError> {
+        if self.peek() == Some(&Tok::Star) {
+            self.i += 1;
+            return Ok(SelectItem::Wildcard { alias: None });
+        }
+        // `t.*` — qualified wildcard.
+        if matches!(self.peek(), Some(Tok::Ident(_)))
+            && self.peek2() == Some(&Tok::Dot)
+            && self.toks.get(self.i + 2).map(|s| &s.tok) == Some(&Tok::Star)
+        {
+            let alias = self.ident()?;
+            self.i += 2; // consume `.` and `*`
+            return Ok(SelectItem::Wildcard { alias: Some(alias) });
+        }
+        Ok(SelectItem::Col(self.col_ref()?))
+    }
+
+    fn table_ref(&mut self) -> Result<FromItem, QueryError> {
+        let relation = self.ident()?;
+        // Optional alias (an identifier that is not a clause keyword).
+        let alias = match self.peek() {
+            Some(Tok::Ident(s))
+                if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
+            {
+                let a = s.clone();
+                self.i += 1;
+                a
+            }
+            _ => relation.clone(),
+        };
+        Ok(FromItem { relation, alias })
     }
 
     fn col_ref(&mut self) -> Result<ColRef, QueryError> {
@@ -323,6 +379,79 @@ mod tests {
         )
         .unwrap();
         assert!(q.except.is_some());
+    }
+
+    #[test]
+    fn parses_explicit_join_on() {
+        let q = parse_sql(
+            "SELECT l.beer, s.bar FROM Likes l JOIN Serves s ON l.beer = s.beer \
+             WHERE s.price > 2.5",
+        )
+        .unwrap();
+        assert_eq!(q.left.from.len(), 2);
+        // The ON condition is conjoined ahead of the WHERE clause.
+        fn conjuncts(c: &SqlCond, out: &mut Vec<String>) {
+            match c {
+                SqlCond::And(l, r) => {
+                    conjuncts(l, out);
+                    conjuncts(r, out);
+                }
+                other => out.push(format!("{other:?}")),
+            }
+        }
+        let mut cs = Vec::new();
+        conjuncts(q.left.where_.as_ref().unwrap(), &mut cs);
+        assert_eq!(cs.len(), 2);
+        assert!(cs[0].contains("beer"), "{cs:?}");
+        assert!(cs[1].contains("price"), "{cs:?}");
+    }
+
+    #[test]
+    fn parses_inner_and_cross_join_chains() {
+        let q = parse_sql(
+            "SELECT d.name FROM Drinker d INNER JOIN Likes l ON l.drinker = d.name \
+             CROSS JOIN Bar b \
+             JOIN Serves s ON s.bar = b.name AND s.beer = l.beer",
+        )
+        .unwrap();
+        assert_eq!(q.left.from.len(), 4);
+        assert_eq!(q.left.from[2].alias, "b");
+        assert!(q.left.where_.is_some());
+    }
+
+    #[test]
+    fn join_without_on_is_rejected() {
+        assert!(parse_sql("SELECT l.beer FROM Likes l JOIN Serves s WHERE 1 = 1").is_err());
+    }
+
+    #[test]
+    fn outer_joins_are_rejected_not_silently_inner() {
+        // Before explicit JOIN support, these inputs failed to parse; they
+        // must keep failing (loudly) rather than degrade to inner joins
+        // with `LEFT` eaten as a table alias.
+        for src in [
+            "SELECT beer FROM Likes LEFT JOIN Serves ON Likes.beer = Serves.beer",
+            "SELECT beer FROM Likes l LEFT OUTER JOIN Serves s ON l.beer = s.beer",
+            "SELECT beer FROM Likes RIGHT JOIN Serves ON Likes.beer = Serves.beer",
+            "SELECT beer FROM Likes FULL JOIN Serves ON Likes.beer = Serves.beer",
+        ] {
+            let e = parse_sql(src);
+            assert!(e.is_err(), "{src} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parses_qualified_star() {
+        let q = parse_sql("SELECT s.*, l.drinker FROM Serves s, Likes l").unwrap();
+        assert_eq!(
+            q.left.cols[0],
+            SelectItem::Wildcard {
+                alias: Some("s".into())
+            }
+        );
+        assert!(matches!(q.left.cols[1], SelectItem::Col(_)));
+        let bare = parse_sql("SELECT * FROM Serves").unwrap();
+        assert_eq!(bare.left.cols, vec![SelectItem::Wildcard { alias: None }]);
     }
 
     #[test]

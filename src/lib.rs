@@ -21,6 +21,15 @@
 //! The repo-level integration tests (`tests/`) and runnable examples
 //! (`examples/`) are hosted by this crate.
 //!
+//! ## Quickstart: the streaming explanation API
+//!
+//! A [`Session`](core::Session) bundles a schema, a tuned
+//! [`ChaseConfig`](core::ChaseConfig), and warm solver caches; an
+//! [`ExplainRequest`](core::ExplainRequest) takes a query in *any*
+//! front-end (DRC text, SQL, or a pre-parsed tree) plus per-request
+//! `limit`/`deadline`/`cancel`; `explain` streams
+//! [`AcceptedInstance`](core::AcceptedInstance)s while the chase runs.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use cqi::prelude::*;
@@ -31,10 +40,25 @@
 //!         .build()
 //!         .unwrap(),
 //! );
-//! let q = parse_query(&schema, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
-//! let sol = run_variant(&SyntaxTree::new(q), Variant::ConjAdd, &ChaseConfig::with_limit(4));
-//! assert!(!sol.instances.is_empty());
+//! let session = Session::new(schema);
+//! // DRC and SQL front-ends land in the same pipeline:
+//! let mut stream = session
+//!     .explain(ExplainRequest::sql("SELECT l.beer FROM Likes l").limit(4))
+//!     .unwrap();
+//! for accepted in stream.by_ref() {
+//!     // arrives while the chase is still driving; ship it to the user
+//!     let _json = accepted.to_json();
+//! }
+//! let sol = stream.collect(); // the batch CSolution, status included
+//! assert!(sol.interrupted.is_none() && !sol.instances.is_empty());
 //! ```
+//!
+//! ### Migrating from `run_variant`
+//!
+//! `run_variant(&tree, variant, &cfg)` still works unchanged (it is now a
+//! thin wrapper over a one-shot session); the session form is
+//! `session.explain_collect(ExplainRequest::tree(&tree).variant(variant))`.
+//! See [`core::session`] for the full mapping table.
 
 pub use cqi_baseline as baseline;
 pub use cqi_bench as bench;
@@ -48,11 +72,17 @@ pub use cqi_schema as schema;
 pub use cqi_sql as sql;
 pub use cqi_solver as solver;
 
-/// The names most programs start from, in one import.
+/// The names most programs start from, in one import — centered on the
+/// streaming [`Session`](cqi_core::Session) API, with the batch
+/// `run_variant` kept for existing code.
 pub mod prelude {
-    pub use cqi_core::{run_variant, ChaseConfig, Variant};
+    pub use cqi_core::{
+        run_variant, AcceptedInstance, CSolution, CancelToken, ChaseConfig, ExplainRequest,
+        Interrupted, QueryInput, Session, SolutionStream, Variant,
+    };
     pub use cqi_drc::{parse_query, Query, SyntaxTree};
     pub use cqi_instance::{CInstance, Cond};
     pub use cqi_schema::{DomainType, Schema, Value};
     pub use cqi_solver::{Lit, NullId, Problem, SolverOp};
+    pub use cqi_sql::sql_to_drc;
 }

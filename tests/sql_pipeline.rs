@@ -92,6 +92,58 @@ fn sql_cq_neg_takes_the_fast_path() {
 }
 
 #[test]
+fn explicit_join_on_chases_like_the_comma_form() {
+    // `JOIN ... ON` and the comma-product form must produce the same
+    // minimal c-solution, and the joined query must chase to satisfying,
+    // groundable instances.
+    let s = beers_schema();
+    let joined = sql_to_drc(
+        &s,
+        "SELECT S1.bar, S1.beer FROM Likes L \
+         JOIN Serves S1 ON L.beer = S1.beer \
+         JOIN Serves S2 ON L.beer = S2.beer \
+         WHERE S1.price > S2.price",
+    )
+    .unwrap();
+    let comma = sql_to_drc(
+        &s,
+        "SELECT S1.bar, S1.beer FROM Likes L, Serves S1, Serves S2 \
+         WHERE L.beer = S1.beer AND L.beer = S2.beer AND S1.price > S2.price",
+    )
+    .unwrap();
+    let cfg = ChaseConfig::with_limit(8)
+        .enforce_keys(true)
+        .timeout(Duration::from_secs(30));
+    let a = run_variant(&SyntaxTree::new(joined.clone()), Variant::ConjAdd, &cfg);
+    let b = run_variant(&SyntaxTree::new(comma), Variant::ConjAdd, &cfg);
+    assert!(!a.instances.is_empty());
+    assert_eq!(a.num_coverages(), b.num_coverages());
+    let g = ground_instance(&a.instances[0].inst, true).unwrap();
+    assert!(!cqi_eval::evaluate(&joined, &g).is_empty());
+}
+
+#[test]
+fn qualified_star_pipeline() {
+    // SELECT s.* exposes exactly Serves' columns; the chase still finds
+    // counterexample instances for it.
+    let s = beers_schema();
+    let q = sql_to_drc(
+        &s,
+        "SELECT s.* FROM Serves s JOIN Likes l ON l.beer = s.beer \
+         WHERE s.price > 3.0",
+    )
+    .unwrap();
+    assert_eq!(q.out_vars.len(), 3);
+    let cfg = ChaseConfig::with_limit(6)
+        .enforce_keys(true)
+        .timeout(Duration::from_secs(30));
+    let sol = run_variant(&SyntaxTree::new(q.clone()), Variant::DisjEO, &cfg);
+    assert!(!sol.instances.is_empty());
+    let g = ground_instance(&sol.instances[0].inst, true).unwrap();
+    assert!(cqi_eval::satisfies(&q, &g));
+}
+
+#[test]
 fn user_study_q2_wrong_vs_correct() {
     // Table 3's Q2: the wrong query selects beers at 'Edge'; the correct
     // query selects drinkers frequenting 'The Edge' not liking 'Erdinger'.
