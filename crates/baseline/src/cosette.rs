@@ -87,4 +87,22 @@ mod tests {
         let ce = cosette(&q, &q, 5, Duration::from_secs(10)).unwrap();
         assert!(ce.is_none());
     }
+
+    /// Found by the `cqi-fuzz` differential campaign: a projected wildcard
+    /// and an explicit existential are the same query, so no counterexample
+    /// may exist. The difference `q1 − q2` normalizes to
+    /// `Likes(d1, *) ∧ ∀b ¬Likes(d1, b)` — before Tree-SAT's universal
+    /// ranged over don't-care cells, the chase accepted its padding row and
+    /// cosette produced a witness both queries agree on.
+    #[test]
+    fn wildcard_vs_exists_has_no_counterexample() {
+        let s = schema();
+        let q1 = parse_query(&s, "{ (d1) | Likes(d1, *) }").unwrap();
+        let q2 = parse_query(&s, "{ (d1) | exists b1 (Likes(d1, b1)) }").unwrap();
+        let ce = cosette(&q1, &q2, 4, Duration::from_secs(10)).unwrap();
+        if let Some(ce) = &ce {
+            assert_eq!(evaluate(&q1, ce), evaluate(&q2, ce), "{ce}");
+            panic!("cosette produced a counterexample for equivalent queries:\n{ce}");
+        }
+    }
 }

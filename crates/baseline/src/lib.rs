@@ -17,5 +17,5 @@ pub mod generator;
 pub mod ratest;
 
 pub use cosette::cosette;
-pub use generator::generate_database;
+pub use generator::{generate_database, generate_database_with_stats, GenStats, RelGenStats};
 pub use ratest::{minimal_counterexample, ratest, ratest_directed};

@@ -111,12 +111,61 @@ mod tests {
     }
 
     #[test]
+    fn all_positive_selection_satisfies_every_query() {
+        let s = schema();
+        let q_likes = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        let q_served = parse_query(&s, "{ (b1) | exists x1, p1 (Serves(x1, b1, p1)) }").unwrap();
+        let q_cheap = parse_query(
+            &s,
+            "{ (b1) | exists x1, p1 (Serves(x1, b1, p1) and p1 < 2.0) }",
+        )
+        .unwrap();
+        let g = generate_selective_instance(
+            &[&q_likes, &q_served, &q_cheap],
+            &[true, true, true],
+            &cfg(),
+        )
+        .unwrap()
+        .expect("all-positive combination is achievable");
+        assert!(cqi_eval::satisfies(&q_likes, &g));
+        assert!(cqi_eval::satisfies(&q_served, &g));
+        assert!(cqi_eval::satisfies(&q_cheap, &g));
+    }
+
+    #[test]
+    fn all_negative_selection_violates_every_query() {
+        let s = schema();
+        let q_likes = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        let q_served = parse_query(&s, "{ (b1) | exists x1, p1 (Serves(x1, b1, p1)) }").unwrap();
+        let g = generate_selective_instance(&[&q_likes, &q_served], &[false, false], &cfg())
+            .unwrap()
+            .expect("all-negative combination is achievable");
+        assert!(!cqi_eval::satisfies(&q_likes, &g));
+        assert!(!cqi_eval::satisfies(&q_served, &g));
+    }
+
+    #[test]
     fn contradictory_subset_yields_none() {
         let s = schema();
         let q = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
         // q satisfied AND q not satisfied.
         let got = generate_selective_instance(&[&q, &q], &[true, false], &cfg()).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn test_matrix_omits_unsatisfiable_patterns() {
+        let s = schema();
+        let q = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        // The same query twice: only the agreeing patterns 00 and 11 are
+        // achievable; the contradictory 01 and 10 must be absent.
+        let matrix = generate_test_matrix(&[&q, &q], &cfg()).unwrap();
+        assert_eq!(
+            matrix.keys().copied().collect::<Vec<_>>(),
+            vec![0b00, 0b11],
+            "{:?}",
+            matrix.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

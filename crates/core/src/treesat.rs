@@ -210,7 +210,14 @@ impl<'a> SatCtx<'a> {
                 false
             }
             Formula::Forall(v, b) => {
-                let pool = self.inst.domain_pool(self.query.var_domain(*v)).to_vec();
+                // The universal must also range over don't-care nulls
+                // sitting in columns of this domain: they are outside the
+                // pool (Definition 3) but take *some* active-domain value in
+                // every possible world, so a body that fails under one of
+                // them fails in every grounding.
+                let d = self.query.var_domain(*v);
+                let mut pool = self.inst.domain_pool(d).to_vec();
+                pool.extend(self.inst.dont_cares_in_domain(d));
                 for e in pool {
                     h[v.index()] = Some(e);
                     if !self.sat(h, b) {
@@ -332,6 +339,64 @@ mod tests {
         )
         .unwrap();
         assert!(tree_sat(&qb, &i1(&s)));
+    }
+
+    /// Found by the `cqi-fuzz` differential campaign: a null created under
+    /// one domain but joined into a same-typed column of another domain
+    /// must be visible to quantifiers over that column's domain. Before
+    /// occurrence-closing the pools, the ∀ below ranged over an empty pool
+    /// and passed vacuously even though the instance's only row violates
+    /// it in every grounding.
+    #[test]
+    fn forall_sees_cross_domain_nulls() {
+        let s = schema();
+        let likes = s.rel_id("Likes").unwrap();
+        let (dd, ed) = (s.attr_domain(likes, 0), s.attr_domain(likes, 1));
+        assert_ne!(dd, ed, "test needs Likes.drinker and Likes.beer distinct");
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let n = inst.fresh_null("x1", dd);
+        inst.add_tuple(likes, vec![n.into(), n.into()]);
+        // x1 reused across both Text domains (legal: types agree).
+        let q_pos = parse_query(&s, "{ (x1) | Likes(x1, x1) }").unwrap();
+        assert!(tree_sat(&q_pos, &inst), "positive core must close over x1");
+        let q = parse_query(
+            &s,
+            "{ (x1) | Likes(x1, x1) and forall f (not Likes(*, f)) }",
+        )
+        .unwrap();
+        // f ranges over the beer domain; the row's beer cell holds the
+        // drinker-domain null n, so ¬Likes(*, f) fails at f = n.
+        assert!(!tree_sat(&q, &inst));
+    }
+
+    /// Also found by `cqi-fuzz`: don't-care nulls stay out of the pools
+    /// (Definition 3) but still take *some* value in every possible world,
+    /// so a universal over their column's domain must range over them.
+    #[test]
+    fn forall_sees_dont_care_cells() {
+        let s = schema();
+        let serves = s.rel_id("Serves").unwrap();
+        let (bd, ed, pd) = (
+            s.attr_domain(serves, 0),
+            s.attr_domain(serves, 1),
+            s.attr_domain(serves, 2),
+        );
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let x1 = inst.fresh_null("x1", bd);
+        let b1 = inst.fresh_null("b1", ed);
+        let dc = inst.fresh_dont_care(pd);
+        inst.add_tuple(serves, vec![x1.into(), b1.into(), dc.into()]);
+        let q_pos =
+            parse_query(&s, "{ (x1) | exists b1 (Serves(x1, b1, *)) }").unwrap();
+        assert!(tree_sat(&q_pos, &inst));
+        let q = parse_query(
+            &s,
+            "{ (x1) | exists b1 (Serves(x1, b1, *)) and forall p (not Serves(*, *, p)) }",
+        )
+        .unwrap();
+        // The price pool is empty, but the don't-care cell grounds to some
+        // price in every world — the ∀ cannot pass vacuously.
+        assert!(!tree_sat(&q, &inst));
     }
 
     #[test]

@@ -134,6 +134,22 @@ impl CInstance {
         if self.tables[rel.index()].contains(&tuple) {
             return false;
         }
+        // Occurrence-close the domain pools: an entity sitting in a column
+        // of domain `d` belongs to `d`'s active domain in every possible
+        // world, so quantifiers over `d` must range over it. Without this a
+        // null created under one domain but joined into a same-typed column
+        // of *another* domain escapes that column's ∀/∃ pools, and Tree-SAT
+        // can accept instances whose every grounding fails the query.
+        for (col, cell) in tuple.iter().enumerate() {
+            if self.is_dont_care(cell) {
+                continue;
+            }
+            let d = self.schema.attr_domain(rel, col);
+            let pool = &mut self.domains[d.index()];
+            if !pool.contains(cell) {
+                pool.push(cell.clone());
+            }
+        }
         self.tables[rel.index()].push(tuple.clone());
         self.repair_foreign_keys(rel, &tuple);
         true
@@ -199,6 +215,29 @@ impl CInstance {
         }
         self.global.push(cond);
         true
+    }
+
+    /// Don't-care nulls occurring in columns of domain `d`. Definition 3
+    /// keeps them out of the quantifier pools (nothing may constrain or
+    /// join them) — but each still takes *some* value in every possible
+    /// world, so a universal quantifier over `d` must range over them too
+    /// (Tree-SAT soundness; see `treesat`).
+    pub fn dont_cares_in_domain(&self, d: DomainId) -> Vec<Ent> {
+        let mut out: Vec<Ent> = Vec::new();
+        for (ri, rows) in self.tables.iter().enumerate() {
+            let rel = RelId(ri as u32);
+            for row in rows {
+                for (col, cell) in row.iter().enumerate() {
+                    if self.schema.attr_domain(rel, col) == d
+                        && self.is_dont_care(cell)
+                        && !out.contains(cell)
+                    {
+                        out.push(cell.clone());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Whether an entity is a don't-care labeled null.
@@ -328,6 +367,32 @@ mod tests {
         assert_eq!(pool.len(), 2);
         assert!(pool.contains(&Ent::Null(p1)));
         assert!(pool.contains(&Ent::Const(Value::real(2.25))));
+    }
+
+    #[test]
+    fn pools_are_occurrence_closed_across_domains() {
+        // Drinker.addr and Bar.addr are distinct (unrelated) Text domains.
+        // A null created under one domain but placed into a column of the
+        // other must join that column's pool too — quantifiers over the
+        // column's domain range over every entity that can occur there.
+        let s = beers_schema();
+        let mut inst = CInstance::new(Arc::clone(&s));
+        let drinker = s.rel_id("Drinker").unwrap();
+        let bar = s.rel_id("Bar").unwrap();
+        let daddr = s.attr_domain(drinker, 1);
+        let baddr = s.attr_domain(bar, 1);
+        assert_ne!(daddr, baddr, "test needs two unrelated Text domains");
+        let n = inst.fresh_null("n1", daddr);
+        let x = inst.fresh_null("x1", s.attr_domain(bar, 0));
+        inst.add_tuple(bar, vec![x.into(), n.into()]);
+        assert!(inst.domain_pool(daddr).contains(&Ent::Null(n)));
+        assert!(inst.domain_pool(baddr).contains(&Ent::Null(n)));
+        // Don't-cares stay out of the pools but are reported per domain.
+        let dc = inst.fresh_dont_care(baddr);
+        inst.add_tuple(bar, vec![x.into(), dc.into()]);
+        assert!(!inst.domain_pool(baddr).contains(&Ent::Null(dc)));
+        assert_eq!(inst.dont_cares_in_domain(baddr), vec![Ent::Null(dc)]);
+        assert!(inst.dont_cares_in_domain(daddr).is_empty());
     }
 
     #[test]

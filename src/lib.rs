@@ -17,6 +17,7 @@
 //! | [`baseline`] | `cqi-baseline` | RATest/Cosette-style baselines |
 //! | [`sql`] | `cqi-sql` | SQL→DRC front-end |
 //! | [`bench`] | `cqi-bench` | experiment harness (`reproduce` binary) |
+//! | [`fuzz`] | `cqi-fuzz` | differential fuzzing campaign (`cqi-fuzz` binary) |
 //!
 //! The repo-level integration tests (`tests/`) and runnable examples
 //! (`examples/`) are hosted by this crate.
@@ -66,6 +67,7 @@ pub use cqi_core as core;
 pub use cqi_datasets as datasets;
 pub use cqi_drc as drc;
 pub use cqi_eval as eval;
+pub use cqi_fuzz as fuzz;
 pub use cqi_instance as instance;
 pub use cqi_runtime as runtime;
 pub use cqi_schema as schema;

@@ -189,30 +189,51 @@ mod chase_soundness {
     use cqi_core::{run_variant, ChaseConfig, Variant};
     use cqi_datasets::beers_queries;
     use cqi_drc::SyntaxTree;
-    use cqi_instance::ground_instance;
+    use cqi_fuzz::check_solution;
 
-    /// Every c-instance a variant returns grounds into a world that
-    /// satisfies the query under independent ground evaluation — for all
-    /// base queries of the Beers workload.
+    /// Every c-instance every variant returns grounds into a world that
+    /// satisfies the query under independent ground evaluation — the same
+    /// oracle the `cqi-fuzz` differential campaign applies (grounding,
+    /// key consistency, `eval::satisfies`, non-empty coverage), over *all*
+    /// accepted instances of every base query of the Beers workload.
     #[test]
     fn grounded_results_satisfy_queries() {
-        let cfg = ChaseConfig::with_limit(8)
+        let cfg = ChaseConfig::with_limit(6)
             .enforce_keys(true)
-            .timeout(Duration::from_secs(15));
+            .timeout(Duration::from_secs(10));
         for dq in beers_queries()
             .into_iter()
             .filter(|q| q.kind != cqi_datasets::QueryKind::Difference)
         {
             let tree = SyntaxTree::new(dq.query.clone());
-            let sol = run_variant(&tree, Variant::ConjAdd, &cfg);
-            for si in sol.instances.iter().take(4) {
-                let g = ground_instance(&si.inst, true)
-                    .unwrap_or_else(|| panic!("{}: inconsistent result", dq.name));
-                assert!(
-                    cqi_eval::satisfies(&dq.query, &g),
-                    "{}: grounded instance fails:\n{g}",
-                    dq.name
-                );
+            for variant in Variant::ALL {
+                let sol = run_variant(&tree, variant, &cfg);
+                if let Err(d) = check_solution(&dq.query, &sol, true) {
+                    panic!("{} [{variant:?}]: {}: {}", dq.name, d.kind.as_str(), d.detail);
+                }
+            }
+        }
+    }
+
+    /// The difference queries of the workload go through the same oracle:
+    /// their accepted instances are exactly the witnesses that one side
+    /// returns and the other does not, so an unsound acceptance here is a
+    /// bogus counterexample downstream (cf. the cosette regression test).
+    #[test]
+    fn grounded_difference_results_satisfy_queries() {
+        let cfg = ChaseConfig::with_limit(6)
+            .enforce_keys(true)
+            .timeout(Duration::from_secs(10));
+        for dq in beers_queries()
+            .into_iter()
+            .filter(|q| q.kind == cqi_datasets::QueryKind::Difference)
+        {
+            let tree = SyntaxTree::new(dq.query.clone());
+            for variant in [Variant::ConjAdd, Variant::DisjEO] {
+                let sol = run_variant(&tree, variant, &cfg);
+                if let Err(d) = check_solution(&dq.query, &sol, true) {
+                    panic!("{} [{variant:?}]: {}: {}", dq.name, d.kind.as_str(), d.detail);
+                }
             }
         }
     }

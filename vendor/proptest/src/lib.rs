@@ -7,14 +7,19 @@
 //! (`"[ab%_]{1,5}"`), and `ProptestConfig::with_cases`.
 //!
 //! Differences from real proptest, by design:
-//! * no shrinking — failures report the case seed instead, and every stream
-//!   is deterministic, so a failing case replays exactly;
+//! * strategies do not shrink — failures report the case seed instead, and
+//!   every stream is deterministic, so a failing case replays exactly; for
+//!   callers that *do* need minimization (e.g. the `cqi-fuzz` differential
+//!   harness), [`shrink::minimize`] offers a deterministic greedy walk over
+//!   caller-supplied candidate reductions;
 //! * the per-test RNG is seeded from `PROPTEST_SEED` (env, default 0) mixed
 //!   with the test name and case index, making runs reproducible while still
 //!   varying cases.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub mod shrink;
 
 /// Runtime configuration, mirroring `proptest::test_runner::Config`.
 #[derive(Clone, Debug)]

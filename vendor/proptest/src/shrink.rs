@@ -1,0 +1,157 @@
+//! Generic deterministic shrinking, the piece of real proptest the stub's
+//! strategy layer deliberately omits.
+//!
+//! Real proptest shrinks through the `ValueTree` produced by a `Strategy`;
+//! this stub's strategies generate plain values, so shrinking is offered as
+//! a standalone greedy minimizer over *explicit* candidate moves instead:
+//! the caller supplies a function enumerating smaller variants of a value,
+//! and [`minimize`] walks candidate-by-candidate to a local fixpoint where
+//! no candidate still exhibits the failure. The walk is deterministic (it
+//! always takes the first still-failing candidate), so a shrink replays
+//! bit-for-bit — matching the stub's no-surprises replay story.
+
+/// Outcome of a [`minimize`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Minimized<T> {
+    /// The smallest still-failing value found.
+    pub value: T,
+    /// Number of accepted shrink steps (candidates that still failed).
+    pub steps: usize,
+    /// Number of candidates tested overall (accepted + rejected).
+    pub tested: usize,
+    /// True when the walk stopped because `max_tests` ran out rather than
+    /// because a fixpoint was reached.
+    pub budget_exhausted: bool,
+}
+
+/// Greedily minimizes `seed` with respect to a failure predicate.
+///
+/// * `candidates(&value)` returns strictly "smaller" variants to try, in
+///   priority order (most aggressive reductions first shrink fastest).
+/// * `still_fails(&candidate)` re-runs the failing check; `true` means the
+///   candidate reproduces the failure and becomes the new current value.
+/// * `max_tests` bounds the total number of `still_fails` invocations, so a
+///   pathological candidate space cannot loop forever. Termination is
+///   otherwise the caller's contract: every candidate must be strictly
+///   smaller than its parent under *some* well-founded measure.
+///
+/// The seed itself is assumed failing; `minimize` never returns a value
+/// that did not pass `still_fails` (except the untouched seed).
+pub fn minimize<T, C, F>(seed: T, mut candidates: C, mut still_fails: F, max_tests: usize) -> Minimized<T>
+where
+    T: Clone,
+    C: FnMut(&T) -> Vec<T>,
+    F: FnMut(&T) -> bool,
+{
+    let mut current = seed;
+    let mut steps = 0usize;
+    let mut tested = 0usize;
+    loop {
+        let mut advanced = false;
+        for cand in candidates(&current) {
+            if tested >= max_tests {
+                return Minimized { value: current, steps, tested, budget_exhausted: true };
+            }
+            tested += 1;
+            if still_fails(&cand) {
+                current = cand;
+                steps += 1;
+                advanced = true;
+                break; // restart candidate enumeration from the smaller value
+            }
+        }
+        if !advanced {
+            return Minimized { value: current, steps, tested, budget_exhausted: false };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shrink a vec of ints by removing one element at a time; the failure
+    /// is "contains at least one multiple of 7".
+    #[test]
+    fn shrinks_vec_to_single_witness() {
+        let seed = vec![3, 14, 6, 21, 8, 7];
+        let out = minimize(
+            seed,
+            |v: &Vec<i32>| {
+                (0..v.len())
+                    .map(|i| {
+                        let mut c = v.clone();
+                        c.remove(i);
+                        c
+                    })
+                    .collect()
+            },
+            |v| v.iter().any(|x| x % 7 == 0),
+            10_000,
+        );
+        assert_eq!(out.value.len(), 1);
+        assert_eq!(out.value[0] % 7, 0);
+        assert!(!out.budget_exhausted);
+        assert!(out.steps >= 5);
+    }
+
+    /// Deterministic: the same seed shrinks to the same value every time
+    /// (the walk takes the *first* still-failing candidate).
+    #[test]
+    fn shrink_is_deterministic() {
+        let run = || {
+            minimize(
+                (0..40).collect::<Vec<i32>>(),
+                |v: &Vec<i32>| {
+                    let mut cs = Vec::new();
+                    // Aggressive first: drop halves, then single elements.
+                    if v.len() > 1 {
+                        cs.push(v[v.len() / 2..].to_vec());
+                        cs.push(v[..v.len() / 2].to_vec());
+                    }
+                    for i in 0..v.len() {
+                        let mut c = v.clone();
+                        c.remove(i);
+                        cs.push(c);
+                    }
+                    cs
+                },
+                |v| v.iter().sum::<i32>() >= 30,
+                10_000,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.value.iter().sum::<i32>() >= 30);
+        // Minimal under single-removal: dropping anything goes below 30.
+        for i in 0..a.value.len() {
+            let mut c = a.value.clone();
+            c.remove(i);
+            assert!(c.iter().sum::<i32>() < 30);
+        }
+    }
+
+    /// The budget cap stops runaway candidate spaces and reports it.
+    #[test]
+    fn budget_cap_is_honored() {
+        let out = minimize(
+            1_000_000u64,
+            |&n: &u64| if n > 0 { vec![n - 1] } else { vec![] },
+            |&n| n > 0,
+            10,
+        );
+        assert!(out.budget_exhausted);
+        assert_eq!(out.tested, 10);
+        assert_eq!(out.value, 1_000_000 - 10);
+    }
+
+    /// A seed with no passing candidates comes back untouched.
+    #[test]
+    fn fixpoint_seed_is_returned_as_is() {
+        let out = minimize(7i32, |_| vec![0, 1, 2], |&n| n == 7, 100);
+        assert_eq!(out.value, 7);
+        assert_eq!(out.steps, 0);
+        assert!(!out.budget_exhausted);
+    }
+}
