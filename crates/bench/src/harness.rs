@@ -27,6 +27,8 @@ pub struct RunRecord {
     /// common-coverage size comparison.
     pub coverages: Vec<Vec<u32>>,
     pub sizes_by_coverage: BTreeMap<Vec<u32>, usize>,
+    /// Engine counters of this run (waves, memo tier hit rates, …).
+    pub stats: cqi_core::ChaseStats,
 }
 
 /// Runs one variant over one query, through the public [`Session`] API
@@ -58,6 +60,7 @@ pub fn run_one(dq: &DatasetQuery, variant: Variant, cfg: &ChaseConfig) -> RunRec
         mean_gap: sol.mean_gap(),
         coverages,
         sizes_by_coverage,
+        stats: sol.stats,
     }
 }
 

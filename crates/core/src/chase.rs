@@ -29,9 +29,10 @@
 //! `crates/core/tests/parallel_props.rs`).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cqi_drc::{Atom, Formula, Query, Term, VarId};
@@ -40,11 +41,11 @@ use cqi_instance::consistency::{
 };
 use cqi_instance::{exact_digest, is_isomorphic, signature, CInstance, Cond};
 use cqi_runtime::{
-    parallel_for, Expansion, FrontierScheduler, FrontierTask, ParallelScheduler,
-    SequentialScheduler, SetKey,
+    DriveStats, Exec, Expansion, FrontierScheduler, FrontierTask, MemoCounts, ParallelScheduler,
+    ResidentPool, RunCounters, SequentialScheduler, SetKey, StripedMemo,
 };
-use cqi_solver::canon::canonicalize;
-use cqi_solver::{CacheStats, Ent, Lit, SaturatedState, SolverCache};
+use cqi_solver::canon::{canonicalize, CanonKey};
+use cqi_solver::{CacheStats, Ent, Lit, Model, SaturatedState, SolverCache};
 
 use crate::config::{CancelToken, ChaseConfig};
 use crate::conjtree::expand_disj_node;
@@ -54,6 +55,165 @@ use crate::treesat::{atom_to_lit, Hom, SatCtx};
 /// Bound on retained saturated states (each is small — vectors over the
 /// instance's nulls/literals — but runs can visit millions of instances).
 const SAT_MEMO_CAP: usize = 200_000;
+
+/// Entry bound of the shared (L2) canonical-problem memo — larger than one
+/// worker's L1 capacity because it serves every worker of a session.
+const SHARED_SOLVER_CAP: usize = 32_768;
+
+/// Lock stripes of each shared memo (mirrors `ShardedDedupe`'s striping;
+/// power of two).
+const MEMO_STRIPES: usize = 64;
+
+/// The shared (L2) tier behind every worker's L1 memos: lock-striped maps
+/// holding solver answers that are pure functions of their keys, so a
+/// worker can reuse what a sibling already computed. An L1 miss checks
+/// here before solving; a fresh decision is published here as well as to
+/// the worker's own L1.
+pub(crate) struct SharedMemos {
+    /// Canonical-problem outcomes in canonical space (`None` = unsat) —
+    /// the shared tier over [`SolverCache`]'s per-worker map.
+    solver: StripedMemo<CanonKey, Option<Model>>,
+    /// Saturated theory states by [`state_key`] — the shared tier over the
+    /// per-worker `sat_memo`.
+    sat: StripedMemo<u64, SaturatedState>,
+}
+
+impl Default for SharedMemos {
+    fn default() -> SharedMemos {
+        SharedMemos {
+            solver: StripedMemo::new(MEMO_STRIPES, SHARED_SOLVER_CAP),
+            sat: StripedMemo::new(MEMO_STRIPES, SAT_MEMO_CAP),
+        }
+    }
+}
+
+/// Execution counters of one chase run: scheduler waves, work-stealing
+/// traffic, the hit/miss split of each memo tier, and dedupe volume.
+/// Attached to every [`crate::CSolution`]; all counters are deltas over the
+/// run (session-persistent caches are baselined at construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Frontier waves driven by the wave-parallel scheduler (0 under the
+    /// sequential driver).
+    pub waves: u64,
+    /// Waves below the spill threshold, processed inline.
+    pub spilled_waves: u64,
+    /// Work-stealing queue steals across all fan-outs.
+    pub steals: u64,
+    /// Fan-out batches dispatched to the resident pool.
+    pub resident_batches: u64,
+    /// Fan-out batches run on per-call scoped threads.
+    pub scoped_batches: u64,
+    /// Duplicate-detection offers across all drives.
+    pub dedupe_offers: u64,
+    /// Offers rejected as duplicates.
+    pub dedupe_duplicates: u64,
+    /// Signature collisions needing a full isomorphism check.
+    pub dedupe_iso_checks: u64,
+    /// Per-worker (L1) canonical-problem memo hits/misses, summed.
+    pub solver_l1_hits: u64,
+    pub solver_l1_misses: u64,
+    /// Shared (L2) canonical-problem memo counters.
+    pub solver_l2: MemoCounts,
+    /// Per-worker (L1) saturated-state lookups, summed.
+    pub sat_l1_hits: u64,
+    pub sat_l1_misses: u64,
+    /// Shared (L2) saturated-state memo counters.
+    pub sat_l2: MemoCounts,
+    /// Chase steps decided by extending the parent's saturated state.
+    pub incr_extends: u64,
+    /// Chase steps that fell back to a full consistency check.
+    pub incr_fallbacks: u64,
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+impl ChaseStats {
+    pub fn solver_l1_hit_rate(&self) -> f64 {
+        rate(self.solver_l1_hits, self.solver_l1_misses)
+    }
+
+    pub fn solver_l2_hit_rate(&self) -> f64 {
+        rate(self.solver_l2.hits, self.solver_l2.misses)
+    }
+
+    pub fn sat_l1_hit_rate(&self) -> f64 {
+        rate(self.sat_l1_hits, self.sat_l1_misses)
+    }
+
+    pub fn sat_l2_hit_rate(&self) -> f64 {
+        rate(self.sat_l2.hits, self.sat_l2.misses)
+    }
+
+    /// Serde-free JSON rendering for benchmark/reproduce reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"waves\": {}, \"spilled_waves\": {}, \"steals\": {}, \
+             \"resident_batches\": {}, \"scoped_batches\": {}, \
+             \"dedupe_offers\": {}, \"dedupe_duplicates\": {}, \"dedupe_iso_checks\": {}, \
+             \"solver_l1_hit_rate\": {:.4}, \"solver_l2_hit_rate\": {:.4}, \
+             \"sat_l1_hit_rate\": {:.4}, \"sat_l2_hit_rate\": {:.4}, \
+             \"l2_contended\": {}, \"incr_extends\": {}, \"incr_fallbacks\": {}}}",
+            self.waves,
+            self.spilled_waves,
+            self.steals,
+            self.resident_batches,
+            self.scoped_batches,
+            self.dedupe_offers,
+            self.dedupe_duplicates,
+            self.dedupe_iso_checks,
+            self.solver_l1_hit_rate(),
+            self.solver_l2_hit_rate(),
+            self.sat_l1_hit_rate(),
+            self.sat_l2_hit_rate(),
+            self.solver_l2.contended + self.sat_l2.contended,
+            self.incr_extends,
+            self.incr_fallbacks,
+        )
+    }
+
+    /// Accumulates another run's counters (workload-level aggregation in
+    /// the bench harness).
+    pub fn merge(&mut self, other: &ChaseStats) {
+        let add = |a: &mut MemoCounts, b: MemoCounts| {
+            a.hits += b.hits;
+            a.misses += b.misses;
+            a.inserts += b.inserts;
+            a.contended += b.contended;
+        };
+        self.waves += other.waves;
+        self.spilled_waves += other.spilled_waves;
+        self.steals += other.steals;
+        self.resident_batches += other.resident_batches;
+        self.scoped_batches += other.scoped_batches;
+        self.dedupe_offers += other.dedupe_offers;
+        self.dedupe_duplicates += other.dedupe_duplicates;
+        self.dedupe_iso_checks += other.dedupe_iso_checks;
+        self.solver_l1_hits += other.solver_l1_hits;
+        self.solver_l1_misses += other.solver_l1_misses;
+        add(&mut self.solver_l2, other.solver_l2);
+        self.sat_l1_hits += other.sat_l1_hits;
+        self.sat_l1_misses += other.sat_l1_misses;
+        add(&mut self.sat_l2, other.sat_l2);
+        self.incr_extends += other.incr_extends;
+        self.incr_fallbacks += other.incr_fallbacks;
+    }
+}
+
+fn sub_counts(a: MemoCounts, b: MemoCounts) -> MemoCounts {
+    MemoCounts {
+        hits: a.hits - b.hits,
+        misses: a.misses - b.misses,
+        inserts: a.inserts - b.inserts,
+        contended: a.contended - b.contended,
+    }
+}
 
 fn hash_of<T: Hash>(t: &T) -> u64 {
     let mut h = DefaultHasher::new();
@@ -90,6 +250,21 @@ pub(crate) struct WorkerCtx {
     /// extended by delta literals on single chase steps
     /// (`cfg.incremental`).
     sat_memo: HashMap<u64, SaturatedState>,
+    /// The session's shared (L2) memo tier behind `solver_cache` and
+    /// `sat_memo`.
+    shared: Arc<SharedMemos>,
+    /// Whether this run consults/feeds the L2 tier (multi-thread runs
+    /// only — a lone worker has no sibling to share with, so L2 traffic
+    /// would be pure overhead).
+    share_l2: bool,
+    /// Contexts for nested-BFS fan-out (`Engine::expand_wave`): lazily
+    /// built, persisted here so their memos warm up across waves. They
+    /// share this context's `shared` tier.
+    scratch: Vec<WorkerCtx>,
+    /// `sat_memo` lookups that hit / missed (the L1 side of the tiered
+    /// saturated-state memo).
+    sat_l1_hits: u64,
+    sat_l1_misses: u64,
     /// Chase steps decided by extending the parent's saturated state.
     incr_extends: usize,
     /// Chase steps that fell back to the full check (keys, negative
@@ -102,12 +277,17 @@ pub(crate) struct WorkerCtx {
 }
 
 impl WorkerCtx {
-    fn new(cfg: &ChaseConfig) -> WorkerCtx {
+    fn new(cfg: &ChaseConfig, shared: Arc<SharedMemos>) -> WorkerCtx {
         WorkerCtx {
             bfs_memo: HashMap::new(),
             consist_memo: HashMap::new(),
             solver_cache: SolverCache::new(cfg.solver_cache_capacity),
             sat_memo: HashMap::new(),
+            shared,
+            share_l2: false,
+            scratch: Vec::new(),
+            sat_l1_hits: 0,
+            sat_l1_misses: 0,
             incr_extends: 0,
             incr_fallbacks: 0,
             timed_out: false,
@@ -120,6 +300,36 @@ impl WorkerCtx {
     fn reset_run_flags(&mut self) {
         self.timed_out = false;
         self.cancelled = false;
+        for c in &mut self.scratch {
+            c.reset_run_flags();
+        }
+    }
+
+    /// Sets per-run L2 participation, recursively (scratch contexts follow
+    /// their owner).
+    fn set_share_l2(&mut self, on: bool) {
+        self.share_l2 = on;
+        for c in &mut self.scratch {
+            c.set_share_l2(on);
+        }
+    }
+
+    /// Clears the param-sensitive memos (see [`CacheParams`]), recursively.
+    fn clear_param_memos(&mut self) {
+        self.bfs_memo.clear();
+        self.consist_memo.clear();
+        for c in &mut self.scratch {
+            c.clear_param_memos();
+        }
+    }
+
+    /// Visits this context and every (transitive) scratch context — the
+    /// stat sums must see nested-BFS workers too.
+    fn visit<'s>(&'s self, f: &mut dyn FnMut(&'s WorkerCtx)) {
+        f(self);
+        for c in &self.scratch {
+            c.visit(f);
+        }
     }
 }
 
@@ -157,11 +367,31 @@ struct CacheParams {
 pub struct ChaseCaches {
     ctxs: Vec<WorkerCtx>,
     params: Option<CacheParams>,
+    /// The shared (L2) memo tier every worker context points at.
+    shared: Arc<SharedMemos>,
+    /// The session's resident worker pool, spawned once (lazily, on the
+    /// first parallel run) and reused by every subsequent run. `None`
+    /// until then — pool-less chases fan out on per-call scoped threads.
+    pool: Option<Arc<ResidentPool>>,
 }
 
 impl ChaseCaches {
     pub fn new() -> ChaseCaches {
         ChaseCaches::default()
+    }
+
+    /// Spawns (or resizes) the resident pool backing a `threads`-wide run:
+    /// `threads - 1` parked workers, the calling thread being the last
+    /// participant. Called by the session-backed entry points; one-shot
+    /// [`Chase::new`] never spawns a pool and keeps the scoped fallback.
+    pub fn ensure_pool(&mut self, threads: usize) {
+        let helpers = threads.saturating_sub(1);
+        if helpers == 0 {
+            return;
+        }
+        if self.pool.as_ref().map(|p| p.workers()) != Some(helpers) {
+            self.pool = Some(Arc::new(ResidentPool::new(helpers)));
+        }
     }
 }
 
@@ -203,6 +433,19 @@ pub struct Chase<'a> {
     /// One memo context per worker; `ctxs[0]` doubles as the sequential
     /// context.
     ctxs: Vec<WorkerCtx>,
+    /// The session's resident pool, if one was spawned (see
+    /// [`ChaseCaches::ensure_pool`]); `None` falls back to scoped threads.
+    pool: Option<Arc<ResidentPool>>,
+    /// The shared (L2) memo tier, for the stats snapshot.
+    shared: Arc<SharedMemos>,
+    /// Steal/batch counters of this run's fan-outs.
+    run_counters: RunCounters,
+    /// Wave/dedupe totals accumulated over this run's drives.
+    drive_acc: DriveStats,
+    /// Cumulative cache counters at construction — subtracted so
+    /// [`Chase::stats`] reports per-run deltas despite session-persistent
+    /// caches.
+    stats_base: ChaseStats,
     /// Hash of the query's variable table (names + domains). Folded into
     /// the sub-BFS memo key: two queries can share a formula *shape*
     /// (identical `VarId` structure) while naming/typing their variables
@@ -241,15 +484,18 @@ impl<'a> Chase<'a> {
         ctxs.truncate(threads);
         for ctx in &mut ctxs {
             ctx.reset_run_flags();
+            // A lone worker has no sibling to share solver answers with.
+            ctx.set_share_l2(threads > 1);
             if !param_safe {
                 // These memos' answers depend on the run parameters (see
                 // [`CacheParams`]); a differing run must not see them.
-                ctx.bfs_memo.clear();
-                ctx.consist_memo.clear();
+                ctx.clear_param_memos();
             }
         }
         while ctxs.len() < threads {
-            ctxs.push(WorkerCtx::new(cfg));
+            let mut ctx = WorkerCtx::new(cfg, Arc::clone(&caches.shared));
+            ctx.share_l2 = threads > 1;
+            ctxs.push(ctx);
         }
         let query_key = {
             let mut h = DefaultHasher::new();
@@ -259,7 +505,7 @@ impl<'a> Chase<'a> {
             }
             h.finish()
         };
-        Chase {
+        let mut chase = Chase {
             query,
             cfg,
             universal_fresh,
@@ -273,8 +519,15 @@ impl<'a> Chase<'a> {
             accepted: Vec::new(),
             threads,
             ctxs,
+            pool: caches.pool.clone(),
+            shared: Arc::clone(&caches.shared),
+            run_counters: RunCounters::default(),
+            drive_acc: DriveStats::default(),
+            stats_base: ChaseStats::default(),
             query_key,
-        }
+        };
+        chase.stats_base = chase.cumulative_stats();
+        chase
     }
 
     /// Hands the worker contexts (with every memo warm) back to `caches`
@@ -284,27 +537,99 @@ impl<'a> Chase<'a> {
     }
 
     /// Hit/miss/eviction counters of the canonical-problem memo, summed
-    /// over all worker contexts.
+    /// over all worker contexts (nested-BFS scratch contexts included).
     pub fn solver_cache_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for c in &self.ctxs {
+        self.visit_ctxs(&mut |c| {
             total.hits += c.solver_cache.stats.hits;
             total.misses += c.solver_cache.stats.misses;
             total.evictions += c.solver_cache.stats.evictions;
-        }
+        });
         total
     }
 
     /// Chase steps decided by extending the parent's saturated state
     /// (summed over workers).
     pub fn incr_extends(&self) -> usize {
-        self.ctxs.iter().map(|c| c.incr_extends).sum()
+        let mut n = 0;
+        self.visit_ctxs(&mut |c| n += c.incr_extends);
+        n
     }
 
     /// Chase steps that fell back to the full consistency check (summed
     /// over workers).
     pub fn incr_fallbacks(&self) -> usize {
-        self.ctxs.iter().map(|c| c.incr_fallbacks).sum()
+        let mut n = 0;
+        self.visit_ctxs(&mut |c| n += c.incr_fallbacks);
+        n
+    }
+
+    fn visit_ctxs<'s>(&'s self, f: &mut dyn FnMut(&'s WorkerCtx)) {
+        for c in &self.ctxs {
+            c.visit(f);
+        }
+    }
+
+    /// Every counter at its current cumulative value (caches persist
+    /// across session runs; [`Chase::stats`] subtracts the construction
+    /// baseline).
+    fn cumulative_stats(&self) -> ChaseStats {
+        let counters = self.run_counters.snapshot();
+        let mut s = ChaseStats {
+            waves: self.drive_acc.waves,
+            spilled_waves: self.drive_acc.spilled_waves,
+            steals: counters.steals,
+            resident_batches: counters.resident_batches,
+            scoped_batches: counters.scoped_batches,
+            dedupe_offers: self.drive_acc.dedupe.offers,
+            dedupe_duplicates: self.drive_acc.dedupe.duplicates,
+            dedupe_iso_checks: self.drive_acc.dedupe.iso_checks,
+            solver_l2: self.shared.solver.stats.snapshot(),
+            sat_l2: self.shared.sat.stats.snapshot(),
+            ..ChaseStats::default()
+        };
+        self.visit_ctxs(&mut |c| {
+            s.solver_l1_hits += c.solver_cache.stats.hits;
+            s.solver_l1_misses += c.solver_cache.stats.misses;
+            s.sat_l1_hits += c.sat_l1_hits;
+            s.sat_l1_misses += c.sat_l1_misses;
+            s.incr_extends += c.incr_extends as u64;
+            s.incr_fallbacks += c.incr_fallbacks as u64;
+        });
+        s
+    }
+
+    /// This run's execution counters (see [`ChaseStats`]): drive totals
+    /// plus per-run deltas of the session-persistent cache counters.
+    pub fn stats(&self) -> ChaseStats {
+        let cur = self.cumulative_stats();
+        let base = &self.stats_base;
+        ChaseStats {
+            waves: cur.waves,
+            spilled_waves: cur.spilled_waves,
+            steals: cur.steals,
+            resident_batches: cur.resident_batches,
+            scoped_batches: cur.scoped_batches,
+            dedupe_offers: cur.dedupe_offers,
+            dedupe_duplicates: cur.dedupe_duplicates,
+            dedupe_iso_checks: cur.dedupe_iso_checks,
+            solver_l1_hits: cur.solver_l1_hits - base.solver_l1_hits,
+            solver_l1_misses: cur.solver_l1_misses - base.solver_l1_misses,
+            solver_l2: sub_counts(cur.solver_l2, base.solver_l2),
+            sat_l1_hits: cur.sat_l1_hits - base.sat_l1_hits,
+            sat_l1_misses: cur.sat_l1_misses - base.sat_l1_misses,
+            sat_l2: sub_counts(cur.sat_l2, base.sat_l2),
+            incr_extends: cur.incr_extends - base.incr_extends,
+            incr_fallbacks: cur.incr_fallbacks - base.incr_fallbacks,
+        }
+    }
+
+    fn absorb_drive(&mut self, st: DriveStats) {
+        self.drive_acc.waves += st.waves;
+        self.drive_acc.spilled_waves += st.spilled_waves;
+        self.drive_acc.dedupe.offers += st.dedupe.offers;
+        self.drive_acc.dedupe.duplicates += st.dedupe.duplicates;
+        self.drive_acc.dedupe.iso_checks += st.dedupe.iso_checks;
     }
 
     fn deadline_passed(&self) -> bool {
@@ -354,6 +679,11 @@ impl<'a> Chase<'a> {
             return;
         }
         let (i0, h0) = bind_free_vars(self.query, formula, seed, seed_h);
+        let exec = match self.pool.as_deref() {
+            Some(p) if self.threads > 1 => Exec::resident(p),
+            _ => Exec::scoped(),
+        }
+        .with_counters(&self.run_counters);
         let task = RootTask {
             query: self.query,
             cfg: self.cfg,
@@ -363,6 +693,7 @@ impl<'a> Chase<'a> {
             formula,
             h0: &h0,
             query_key: self.query_key,
+            exec,
         };
         let start = self.start;
         let max = self.cfg.max_results;
@@ -385,16 +716,18 @@ impl<'a> Chase<'a> {
                 true
             }
         };
-        if self.threads <= 1 {
-            SequentialScheduler.drive(&task, &mut self.ctxs, vec![i0], &mut sink);
+        let drive_stats = if self.threads <= 1 {
+            SequentialScheduler.drive(exec, &task, &mut self.ctxs, vec![i0], &mut sink)
         } else {
             ParallelScheduler::new(self.cfg.parallel_min_frontier).drive(
+                exec,
                 &task,
                 &mut self.ctxs,
                 vec![i0],
                 &mut sink,
-            );
-        }
+            )
+        };
+        self.absorb_drive(drive_stats);
         self.done |= done;
         self.halted |= halted;
         self.collect_ctx_flags();
@@ -445,18 +778,23 @@ impl<'a> Chase<'a> {
         let max = cfg.max_results;
         let start = self.start;
         let query_key = self.query_key;
-        let per_job: Vec<Vec<(CInstance, Duration)>> =
-            parallel_for(&mut self.ctxs, &jobs, |ctx, _, job| {
+        let exec = match self.pool.as_deref() {
+            Some(p) => Exec::resident(p),
+            None => Exec::scoped(),
+        }
+        .with_counters(&self.run_counters);
+        let per_job: Vec<(Vec<(CInstance, Duration)>, DriveStats)> =
+            exec.run(&mut self.ctxs, &jobs, |ctx, _, job| {
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     ctx.timed_out = true;
-                    return Vec::new();
+                    return (Vec::new(), DriveStats::default());
                 }
                 if cancel
                     .as_ref()
                     .is_some_and(|t| t.flag().load(Ordering::Relaxed))
                 {
                     ctx.cancelled = true;
-                    return Vec::new();
+                    return (Vec::new(), DriveStats::default());
                 }
                 let (i0, h0) =
                     bind_free_vars(query, job.formula, job.seed.clone(), job.h.clone());
@@ -469,6 +807,7 @@ impl<'a> Chase<'a> {
                     formula: job.formula,
                     h0: &h0,
                     query_key,
+                    exec,
                 };
                 let mut acc: Vec<(CInstance, Duration)> = Vec::new();
                 let mut sink = |inst: CInstance| {
@@ -478,8 +817,14 @@ impl<'a> Chase<'a> {
                     // No single job ever needs more than the global cap.
                     max.is_none_or(|m| acc.len() < m)
                 };
-                SequentialScheduler.drive(&task, std::slice::from_mut(ctx), vec![i0], &mut sink);
-                acc
+                let st = SequentialScheduler.drive(
+                    exec,
+                    &task,
+                    std::slice::from_mut(ctx),
+                    vec![i0],
+                    &mut sink,
+                );
+                (acc, st)
             });
         // Deterministic merge: job order, truncated at the global cap
         // exactly where a sequential run would have stopped. (The log stays
@@ -487,7 +832,8 @@ impl<'a> Chase<'a> {
         // jobs, as they legitimately do.) The observer fires here, at the
         // merge point — job-level fan-out is a batch barrier, unlike the
         // per-wave flushing of the wave-parallel scheduler.
-        'merge: for acc in per_job {
+        'merge: for (acc, st) in per_job {
+            self.absorb_drive(st);
             for (inst, t) in acc {
                 let keep_streaming = observer(&inst, t);
                 self.accepted.push((inst, t));
@@ -539,6 +885,8 @@ struct RootTask<'t> {
     formula: &'t Formula,
     h0: &'t Hom,
     query_key: u64,
+    /// Thread source for nested-BFS fan-out inside [`Engine`].
+    exec: Exec<'t>,
 }
 
 impl FrontierTask for RootTask<'_> {
@@ -581,6 +929,7 @@ impl FrontierTask for RootTask<'_> {
             deadline: self.deadline,
             cancel: self.cancel,
             query_key: self.query_key,
+            exec: self.exec,
             ctx,
         };
         // Line 13: Tree-SAT under the root homomorphism ∧ IsConsistent(I).
@@ -617,6 +966,9 @@ struct Engine<'e> {
     deadline: Option<Instant>,
     cancel: Option<&'e AtomicBool>,
     query_key: u64,
+    /// Thread source for nested-BFS wave fan-out (resident pools only —
+    /// scoped handles report width 1 and keep the recursion sequential).
+    exec: Exec<'e>,
     ctx: &'e mut WorkerCtx,
 }
 
@@ -663,24 +1015,53 @@ impl Engine<'_> {
             let canon = canonicalize(&problem);
             match self.ctx.solver_cache.lookup_sat(&canon) {
                 Some(sat) => sat,
-                None => match self.incremental_check(parent, child) {
-                    Some(ext) => {
-                        self.ctx.incr_extends += 1;
-                        self.ctx
-                            .solver_cache
-                            .insert(&canon, ext.as_ref().map(|st| st.model()));
-                        match ext {
-                            Some(st) => {
-                                self.memoize_state(state_key(key, child), st);
-                                true
+                // L1 miss → consult the shared L2 tier (multi-thread runs
+                // only): a sibling worker may already have decided an
+                // isomorphic step. L2 stores canonical-space outcomes, so a
+                // hit back-fills L1 directly.
+                None => match self
+                    .ctx
+                    .share_l2
+                    .then(|| self.ctx.shared.solver.get(&canon.key))
+                    .flatten()
+                {
+                    Some(result) => {
+                        let sat = result.is_some();
+                        self.ctx.solver_cache.insert_canonical(canon.key.clone(), result);
+                        sat
+                    }
+                    None => match self.incremental_check(parent, child) {
+                        Some(ext) => {
+                            self.ctx.incr_extends += 1;
+                            // Canonical-space outcome is a pure function of
+                            // the key, so publishing to L2 is race-benign
+                            // (first writer wins, all writers agree).
+                            let result = ext.as_ref().map(|st| canon.model_to_canon(st.model()));
+                            if self.ctx.share_l2 {
+                                self.ctx.shared.solver.insert(canon.key.clone(), result.clone());
                             }
-                            None => false,
+                            self.ctx.solver_cache.insert_canonical(canon.key.clone(), result);
+                            match ext {
+                                Some(st) => {
+                                    self.memoize_state(state_key(key, child), st);
+                                    true
+                                }
+                                None => false,
+                            }
                         }
-                    }
-                    None => {
-                        self.ctx.incr_fallbacks += 1;
-                        self.ctx.solver_cache.solve_canonical(&canon).is_sat()
-                    }
+                        None => {
+                            self.ctx.incr_fallbacks += 1;
+                            let sat = self.ctx.solver_cache.solve_canonical(&canon).is_sat();
+                            if self.ctx.share_l2 {
+                                if let Some(result) =
+                                    self.ctx.solver_cache.peek_canonical(&canon.key)
+                                {
+                                    self.ctx.shared.solver.insert(canon.key.clone(), result);
+                                }
+                            }
+                            sat
+                        }
+                    },
                 },
             }
         } else {
@@ -754,20 +1135,33 @@ impl Engine<'_> {
         }
         let parent_key = state_key(exact_digest(parent), parent);
         let mut seeded: Option<SaturatedState> = None;
-        let parent_state = match self.ctx.sat_memo.get(&parent_key) {
-            Some(s) => s,
-            None => {
-                // Child purity implies parent purity (tables and conditions
-                // only grow), so the parent's conjunction seeds a state. A
-                // `None` here means the parent itself is inconsistent;
-                // fall back (the caller's full check will agree).
-                debug_assert!(is_pure_conjunctive(parent, self.cfg.enforce_keys));
-                seeded = Some(SaturatedState::saturate(
-                    &parent.null_types(),
-                    &conj_lits(&parent.global),
-                )?);
-                seeded.as_ref().unwrap()
-            }
+        if self.ctx.sat_memo.contains_key(&parent_key) {
+            self.ctx.sat_l1_hits += 1;
+        } else {
+            self.ctx.sat_l1_misses += 1;
+            let st = match self
+                .ctx
+                .share_l2
+                .then(|| self.ctx.shared.sat.get(&parent_key))
+                .flatten()
+            {
+                // A sibling worker already saturated this parent state.
+                Some(st) => st,
+                None => {
+                    // Child purity implies parent purity (tables and
+                    // conditions only grow), so the parent's conjunction
+                    // seeds a state. A `None` here means the parent itself
+                    // is inconsistent; fall back (the caller's full check
+                    // will agree).
+                    debug_assert!(is_pure_conjunctive(parent, self.cfg.enforce_keys));
+                    SaturatedState::saturate(&parent.null_types(), &conj_lits(&parent.global))?
+                }
+            };
+            seeded = Some(st);
+        }
+        let parent_state = match &seeded {
+            Some(st) => st,
+            None => &self.ctx.sat_memo[&parent_key],
         };
         // The delta reduces through the same logic as a whole instance
         // (`NotIn` over an empty table is vacuous, exactly as in
@@ -781,6 +1175,11 @@ impl Engine<'_> {
     }
 
     fn memoize_state(&mut self, key: u64, st: SaturatedState) {
+        // Saturated states are deterministic functions of the key, so the
+        // shared tier's first-writer-wins races are benign.
+        if self.ctx.share_l2 {
+            self.ctx.shared.sat.insert(key, st.clone());
+        }
         if self.ctx.sat_memo.len() < SAT_MEMO_CAP {
             self.ctx.sat_memo.insert(key, st);
         }
@@ -815,50 +1214,142 @@ impl Engine<'_> {
         res
     }
 
+    /// `Tree-Chase-BFS` body, restructured into FIFO waves. Sequentially
+    /// the loop pops one instance, admits it (size bound + visited
+    /// isomorphism check), then either accepts it or expands it. The wave
+    /// form does the same work level by level: admission stays sequential
+    /// (each admitted instance joins `visited` before the next is checked
+    /// — exactly the pop order), and the per-instance accept/expand step
+    /// ([`bfs_step`](Self::bfs_step)) runs over the whole wave at once.
+    /// Since an instance's step never reads `visited` or its siblings, the
+    /// steps are independent and [`expand_wave`](Self::expand_wave) may
+    /// fan them out across the resident pool; the FIFO merge afterwards
+    /// restores the order the sequential loop would have produced
+    /// (children of `wave[i]` precede children of `wave[i+1]`).
     fn bfs_inner(&mut self, q: &Formula, h0: &Hom, i0: &CInstance) -> Vec<CInstance> {
         let (i0, h0) = bind_free_vars(self.query, q, i0.clone(), h0.clone());
         let mut res: Vec<CInstance> = Vec::new();
-        let mut queue: VecDeque<CInstance> = VecDeque::new();
-        queue.push_back(i0);
+        let mut frontier: Vec<CInstance> = vec![i0];
         let mut visited: Vec<(u64, CInstance)> = Vec::new();
-        while let Some(inst) = queue.pop_front() {
+        while !frontier.is_empty() {
             if self.stopped() {
                 break;
             }
             // Line 10: size bound and visited (isomorphism) check.
-            if inst.size() > self.cfg.limit {
-                continue;
-            }
-            let sig = signature(&inst);
-            if visited
-                .iter()
-                .any(|(s, v)| *s == sig && is_isomorphic(v, &inst))
-            {
-                continue;
-            }
-            visited.push((sig, inst.clone()));
-            // Line 13: Tree-SAT under the *current* homomorphism (recursive
-            // calls must verify satisfaction at the handler's chosen
-            // mapping, not under blanket ∃-closure — otherwise the
-            // Handle-Universal merge would accept bodies satisfied by some
-            // other entity) ∧ IsConsistent(I).
-            let ctx = SatCtx::new(self.query, &inst, self.cfg.enforce_keys);
-            if ctx.tree_sat(q, &h0) && self.consistent(&inst) {
-                res.push(inst);
-                continue;
-            }
-            // Lines 16–19: expand.
-            let expansions = self.tree_chase(q, &inst, &h0);
-            for j in expansions {
-                if self.stopped() {
-                    break;
+            let mut wave: Vec<CInstance> = Vec::new();
+            for inst in std::mem::take(&mut frontier) {
+                if inst.size() > self.cfg.limit {
+                    continue;
                 }
-                if j.size() <= self.cfg.limit && self.consistent(&j) {
-                    queue.push_back(j);
+                let sig = signature(&inst);
+                if visited
+                    .iter()
+                    .any(|(s, v)| *s == sig && is_isomorphic(v, &inst))
+                {
+                    continue;
+                }
+                visited.push((sig, inst.clone()));
+                wave.push(inst);
+            }
+            let steps = self.expand_wave(q, &h0, &wave);
+            // `steps` may be shorter than `wave` if the run stopped
+            // mid-wave; zip drops the tail, matching the sequential break.
+            for (inst, (accepted, children)) in wave.into_iter().zip(steps) {
+                if accepted {
+                    res.push(inst);
+                } else {
+                    frontier.extend(children);
                 }
             }
         }
         res
+    }
+
+    /// One step of Algorithm 1 for an already-admitted instance: accept it
+    /// (Tree-SAT ∧ IsConsistent) or expand it and pre-filter the children.
+    /// Pure with respect to the BFS bookkeeping — it reads neither
+    /// `visited` nor any sibling — so waves of steps can run concurrently.
+    fn bfs_step(&mut self, q: &Formula, h0: &Hom, inst: &CInstance) -> (bool, Vec<CInstance>) {
+        // Line 13: Tree-SAT under the *current* homomorphism (recursive
+        // calls must verify satisfaction at the handler's chosen
+        // mapping, not under blanket ∃-closure — otherwise the
+        // Handle-Universal merge would accept bodies satisfied by some
+        // other entity) ∧ IsConsistent(I).
+        let ctx = SatCtx::new(self.query, inst, self.cfg.enforce_keys);
+        if ctx.tree_sat(q, h0) && self.consistent(inst) {
+            return (true, Vec::new());
+        }
+        // Lines 16–19: expand.
+        let expansions = self.tree_chase(q, inst, h0);
+        let mut children = Vec::new();
+        for j in expansions {
+            if self.stopped() {
+                break;
+            }
+            if j.size() <= self.cfg.limit && self.consistent(&j) {
+                children.push(j);
+            }
+        }
+        (false, children)
+    }
+
+    /// Runs [`bfs_step`](Self::bfs_step) over an admitted wave. Narrow
+    /// waves (or scoped execution, whose [`Exec::width`] is 1) stay on the
+    /// sequential path; wide waves under a resident pool are re-submitted
+    /// to the pool as a nested batch, each step running on a scratch
+    /// [`WorkerCtx`] that shares the same L2 memos. Scratch contexts are
+    /// kept warm across waves inside `self.ctx.scratch`.
+    fn expand_wave(
+        &mut self,
+        q: &Formula,
+        h0: &Hom,
+        wave: &[CInstance],
+    ) -> Vec<(bool, Vec<CInstance>)> {
+        let width = self.exec.width().min(wave.len());
+        if width <= 1 || wave.len() < self.cfg.nested_min_wave.max(2) {
+            let mut steps = Vec::with_capacity(wave.len());
+            for inst in wave {
+                if self.stopped() {
+                    break;
+                }
+                steps.push(self.bfs_step(q, h0, inst));
+            }
+            return steps;
+        }
+        let mut scratch = std::mem::take(&mut self.ctx.scratch);
+        while scratch.len() < width {
+            let mut fresh = WorkerCtx::new(self.cfg, Arc::clone(&self.ctx.shared));
+            fresh.share_l2 = self.ctx.share_l2;
+            scratch.push(fresh);
+        }
+        let (query, cfg, universal_fresh, deadline, cancel, query_key, exec) = (
+            self.query,
+            self.cfg,
+            self.universal_fresh,
+            self.deadline,
+            self.cancel,
+            self.query_key,
+            self.exec,
+        );
+        let steps = exec.run(&mut scratch[..width], wave, |ctx, _, inst| {
+            let mut engine = Engine {
+                query,
+                cfg,
+                universal_fresh,
+                deadline,
+                cancel,
+                query_key,
+                exec,
+                ctx,
+            };
+            engine.bfs_step(q, h0, inst)
+        });
+        for s in &scratch {
+            self.ctx.timed_out |= s.timed_out;
+            self.ctx.cancelled |= s.cancelled;
+        }
+        self.ctx.scratch = scratch;
+        steps
     }
 
     /// `Tree-Chase` (Algorithm 2): dispatch on the root operator.
@@ -1287,6 +1778,80 @@ mod tests {
         assert!(memo_sizes(&caches).1 > 0);
         let chase = Chase::new_reusing(&q, &cfg6_keys, false, &mut caches);
         assert_eq!(chase.ctxs[0].consist_memo.len(), 0);
+    }
+
+    #[test]
+    fn shared_l2_entries_cross_worker_boundaries() {
+        // White-box: a state published through one worker's memoize path
+        // is visible to a *different* worker context wired to the same
+        // shared tier — the mechanism behind cross-worker memo reuse.
+        let s = schema();
+        let q = parse_query(&s, "{ (b1) | exists d1 (Likes(d1, b1)) }").unwrap();
+        let cfg = ChaseConfig::with_limit(4);
+        let shared = Arc::new(SharedMemos::default());
+        let mut a = WorkerCtx::new(&cfg, Arc::clone(&shared));
+        a.share_l2 = true;
+        let b = WorkerCtx::new(&cfg, Arc::clone(&shared));
+        let st = SaturatedState::saturate(&[], &[]).expect("empty state saturates");
+        let mut engine = Engine {
+            query: &q,
+            cfg: &cfg,
+            universal_fresh: true,
+            deadline: None,
+            cancel: None,
+            query_key: 0,
+            exec: Exec::scoped(),
+            ctx: &mut a,
+        };
+        engine.memoize_state(42, st);
+        assert_eq!(shared.sat.stats.snapshot().inserts, 1);
+        // B has never seen the key in its own L1 yet hits the shared tier.
+        assert!(!b.sat_memo.contains_key(&42));
+        assert!(b.shared.sat.get(&42).is_some());
+        assert_eq!(shared.sat.stats.snapshot().hits, 1);
+    }
+
+    #[test]
+    fn resident_run_reports_waves_batches_and_l2_traffic() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "{ (x1, b1) | exists p1, x2, p2 . Serves(x1, b1, p1) and Serves(x2, b1, p2) and p1 > p2 }",
+        )
+        .unwrap();
+        let cfg = ChaseConfig::with_limit(7)
+            .threads(3)
+            .parallel_min_frontier(0)
+            .nested_min_wave(2);
+        let mut caches = ChaseCaches::new();
+        caches.ensure_pool(cfg.resolved_threads());
+        let mut chase = Chase::new_reusing(&q, &cfg, true, &mut caches);
+        chase.run_root(
+            &q.formula.clone(),
+            CInstance::new(Arc::clone(&s)),
+            vec![None; q.vars.len()],
+        );
+        assert!(!chase.accepted.is_empty());
+        let stats = chase.stats();
+        assert!(stats.waves > 0, "parallel drive must report waves");
+        assert!(
+            stats.resident_batches > 0,
+            "multi-thread session runs must fan out through the resident pool"
+        );
+        assert!(
+            stats.solver_l2.inserts + stats.sat_l2.inserts > 0,
+            "multi-thread runs must publish decided steps to the shared tier"
+        );
+        assert!(stats.dedupe_offers > 0);
+        // Per-run baselining: a fresh chase over the warm session caches
+        // starts from zero, not from the session cumulative.
+        chase.recycle_into(&mut caches);
+        let chase2 = Chase::new_reusing(&q, &cfg, true, &mut caches);
+        let st2 = chase2.stats();
+        assert_eq!(st2.solver_l1_hits + st2.solver_l1_misses, 0);
+        assert_eq!(st2.solver_l2.inserts, 0);
+        assert_eq!(st2.sat_l2.inserts, 0);
+        assert_eq!(st2.waves, 0);
     }
 
     #[test]

@@ -145,6 +145,12 @@ pub struct ChaseConfig {
     /// processing instead of fanning out (thread/dedupe overhead only pays
     /// for itself on wide frontiers). Only consulted when `threads != 1`.
     pub parallel_min_frontier: usize,
+    /// Minimum width of a *nested* BFS wave (the recursive sub-formula
+    /// search inside one worker) before it is re-submitted to the resident
+    /// pool as its own batch. Narrower waves stay sequential — the
+    /// hand-off only pays for itself on wide recursive frontiers. Only
+    /// consulted when a resident pool is attached (`threads > 1`).
+    pub nested_min_wave: usize,
     /// Cooperative cancellation: when the token fires, the run stops at the
     /// next per-step poll (the same loop that checks `timeout`) and returns
     /// the instances accepted so far. `None` (the default) costs nothing on
@@ -166,6 +172,7 @@ impl ChaseConfig {
             incremental_min_lits: 6,
             threads: 1,
             parallel_min_frontier: 4,
+            nested_min_wave: 8,
             cancel: None,
         }
     }
@@ -212,6 +219,11 @@ impl ChaseConfig {
 
     pub fn parallel_min_frontier(mut self, n: usize) -> ChaseConfig {
         self.parallel_min_frontier = n;
+        self
+    }
+
+    pub fn nested_min_wave(mut self, n: usize) -> ChaseConfig {
+        self.nested_min_wave = n;
         self
     }
 
@@ -282,9 +294,10 @@ mod tests {
         let c = ChaseConfig::with_limit(6);
         assert_eq!(c.threads, 1, "sequential by default");
         assert_eq!(c.resolved_threads(), 1);
-        let par = c.threads(3).parallel_min_frontier(9);
+        let par = c.threads(3).parallel_min_frontier(9).nested_min_wave(5);
         assert_eq!(par.resolved_threads(), 3);
         assert_eq!(par.parallel_min_frontier, 9);
+        assert_eq!(par.nested_min_wave, 5);
         // 0 = all available parallelism (at least one worker anywhere).
         assert!(ChaseConfig::with_limit(6).threads(0).resolved_threads() >= 1);
     }

@@ -52,7 +52,7 @@ pub mod testgen;
 pub mod treesat;
 pub mod variants;
 
-pub use chase::ChaseCaches;
+pub use chase::{ChaseCaches, ChaseStats};
 pub use config::{CancelToken, ChaseConfig, Variant};
 pub use cover::coverage_of_cinstance;
 pub use cqneg::cq_neg_universal_solution;

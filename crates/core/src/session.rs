@@ -665,6 +665,7 @@ mod tests {
             timed_out: false,
             interrupted: None,
             total_time: Duration::ZERO,
+            stats: Default::default(),
         };
 
         // Unfinished: the worker blocks on a gate until after the drop.

@@ -8,6 +8,8 @@ use std::time::Duration;
 use cqi_drc::Coverage;
 use cqi_instance::{json_escape, CInstance};
 
+use crate::chase::ChaseStats;
+
 /// Why an explain/chase run stopped before exhausting the search space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Interrupted {
@@ -117,6 +119,10 @@ pub struct CSolution {
     /// instances found so far are still returned.
     pub interrupted: Option<Interrupted>,
     pub total_time: Duration,
+    /// Engine counters for this run: waves, steals, memo tier hit rates,
+    /// dedupe traffic (all zero when the producing path doesn't run a
+    /// chase, e.g. the trivially-unsatisfiable short-circuit).
+    pub stats: ChaseStats,
 }
 
 impl CSolution {
@@ -175,10 +181,11 @@ impl CSolution {
             })
             .collect();
         format!(
-            "{{\"status\": \"{}\", \"raw_accepted\": {}, \"total_time_ms\": {:.3}, \"instances\": [{}]}}",
+            "{{\"status\": \"{}\", \"raw_accepted\": {}, \"total_time_ms\": {:.3}, \"stats\": {}, \"instances\": [{}]}}",
             json_escape(status),
             self.raw_accepted,
             self.total_time.as_secs_f64() * 1e3,
+            self.stats.to_json(),
             instances.join(", ")
         )
     }
@@ -271,6 +278,7 @@ mod tests {
             timed_out: false,
             interrupted: None,
             total_time: Duration::from_millis(80),
+            stats: ChaseStats::default(),
         };
         assert_eq!(sol.num_coverages(), 3);
         assert!((sol.mean_size() - 2.0).abs() < 1e-9);

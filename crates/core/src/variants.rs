@@ -88,6 +88,10 @@ fn run_variant_inner(
     let universal_fresh = cfg
         .universal_fresh_nulls
         .unwrap_or_else(|| variant.universal_fresh_nulls());
+    // Multi-thread budgets get a resident pool spawned once per cache
+    // lifetime (i.e. once per `Session`) and reused across runs; one-shot
+    // and sequential runs keep the spawn-free scoped path.
+    caches.ensure_pool(cfg.resolved_threads());
     let mut chase = Chase::new_reusing(q, cfg, universal_fresh, caches);
 
     let (entries, raw_accepted) = match observer {
@@ -144,6 +148,7 @@ fn run_variant_inner(
         timed_out: chase.timed_out,
         interrupted,
         total_time: chase.start.elapsed(),
+        stats: chase.stats(),
     };
     chase.recycle_into(caches);
     sol

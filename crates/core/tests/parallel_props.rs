@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use cqi_core::chase::Chase;
+use cqi_core::chase::{Chase, ChaseCaches};
 use cqi_core::{run_variant, ChaseConfig, Variant};
 use cqi_drc::{parse_query, SyntaxTree};
 use cqi_instance::CInstance;
@@ -69,7 +69,10 @@ proptest! {
 
     /// `run_variant` with a parallel config returns the same c-solution as
     /// the sequential default, across variants, limits, key enforcement,
-    /// thread budgets, and spill thresholds.
+    /// thread budgets, and spill thresholds. Multi-thread runs go through
+    /// the session path, which spawns a resident pool and shares the L2
+    /// memo tier between workers — so this property also pins the tiered
+    /// memo and nested-wave re-submission to the sequential baseline.
     #[test]
     fn parallel_run_variant_matches_sequential(
         qi in any::<u64>(),
@@ -78,6 +81,7 @@ proptest! {
         keys in any::<bool>(),
         ti in any::<u64>(),
         mi in any::<u64>(),
+        ni in any::<u64>(),
     ) {
         let s = schema();
         let src = QUERIES[(qi as usize) % QUERIES.len()];
@@ -85,31 +89,37 @@ proptest! {
         let limit = 4 + (li as usize) % 4; // 4..=7
         let threads = pick(&[0usize, 2, 3, 4], ti);
         let min_frontier = pick(&[0usize, 1, 2, 4, 64], mi);
+        let nested = pick(&[0usize, 2, 4, 64], ni);
         let tree = SyntaxTree::new(parse_query(&s, src).unwrap());
         let seq_cfg = ChaseConfig::with_limit(limit).enforce_keys(keys);
         let par_cfg = ChaseConfig::with_limit(limit)
             .enforce_keys(keys)
             .threads(threads)
-            .parallel_min_frontier(min_frontier);
+            .parallel_min_frontier(min_frontier)
+            .nested_min_wave(nested);
         let seq = run_variant(&tree, variant, &seq_cfg);
         let par = run_variant(&tree, variant, &par_cfg);
         prop_assert_eq!(
             render(&seq),
             render(&par),
-            "{} {} limit={} keys={} threads={} min_frontier={}",
-            src, variant, limit, keys, threads, min_frontier
+            "{} {} limit={} keys={} threads={} min_frontier={} nested={}",
+            src, variant, limit, keys, threads, min_frontier, nested
         );
     }
 
     /// The raw accepted stream of a single chase root is byte-identical
     /// between schedulers, instance by instance, in order — the strongest
-    /// form of the determinism guarantee.
+    /// form of the determinism guarantee. The parallel run drives a
+    /// *resident* pool (spawned through [`ChaseCaches::ensure_pool`], as a
+    /// session would) so worker hand-off, shared-L2 memo traffic, and
+    /// nested-wave re-submission are all on the tested path.
     #[test]
     fn parallel_accepted_stream_is_byte_identical(
         qi in any::<u64>(),
         li in any::<u64>(),
         ti in any::<u64>(),
         mi in any::<u64>(),
+        ni in any::<u64>(),
         cap in any::<u64>(),
     ) {
         let s = schema();
@@ -118,13 +128,16 @@ proptest! {
         let limit = 4 + (li as usize) % 3; // 4..=6
         let threads = pick(&[2usize, 4], ti);
         let min_frontier = pick(&[0usize, 2, 16], mi);
+        let nested = pick(&[0usize, 2, 16], ni);
         let max_results = match cap % 4 {
             0 => Some(1),
             1 => Some(3),
             _ => None,
         };
         let run = |cfg: &ChaseConfig| -> Vec<String> {
-            let mut chase = Chase::new(&q, cfg, true);
+            let mut caches = ChaseCaches::new();
+            caches.ensure_pool(cfg.resolved_threads());
+            let mut chase = Chase::new_reusing(&q, cfg, true, &mut caches);
             chase.run_root(
                 &q.formula.clone(),
                 CInstance::new(Arc::clone(&s)),
@@ -136,14 +149,15 @@ proptest! {
         seq_cfg.max_results = max_results;
         let mut par_cfg = ChaseConfig::with_limit(limit)
             .threads(threads)
-            .parallel_min_frontier(min_frontier);
+            .parallel_min_frontier(min_frontier)
+            .nested_min_wave(nested);
         par_cfg.max_results = max_results;
         let seq = run(&seq_cfg);
         let par = run(&par_cfg);
         prop_assert_eq!(
             seq, par,
-            "{} limit={} threads={} min_frontier={} cap={:?}",
-            src, limit, threads, min_frontier, max_results
+            "{} limit={} threads={} min_frontier={} nested={} cap={:?}",
+            src, limit, threads, min_frontier, nested, max_results
         );
     }
 }

@@ -1,10 +1,14 @@
 //! # cqi-runtime
 //!
-//! Execution substrate for the chase: a scoped work-stealing thread pool
-//! (std-only, no external deps), a sharded concurrent duplicate-detection
-//! set keyed on isomorphism invariants, and a [`FrontierScheduler`] that
-//! drives breadth-first frontier expansion either sequentially or in
-//! parallel — with **byte-identical results** either way.
+//! Execution substrate for the chase: a work-stealing thread pool
+//! (std-only, no external deps) usable either as per-call scoped threads
+//! or as a long-lived [`ResidentPool`], a sharded concurrent
+//! duplicate-detection set keyed on isomorphism invariants, a lock-striped
+//! shared memo ([`StripedMemo`]) for cross-worker solver-result sharing,
+//! and a [`FrontierScheduler`] that drives breadth-first frontier
+//! expansion either sequentially or in parallel — with **byte-identical
+//! results** either way. An [`Exec`] handle picks the thread source
+//! (scoped vs resident) without changing any drain or merge logic.
 //!
 //! ## Determinism model
 //!
@@ -29,13 +33,15 @@
 //! parallel.
 
 pub mod dedupe;
+pub mod memo;
 pub mod pool;
 pub mod scheduler;
 
 pub use dedupe::{DedupeStats, Offer, SetKey, ShardedDedupe};
-pub use pool::parallel_for;
+pub use memo::{MemoCounts, MemoStats, StripedMemo};
+pub use pool::{parallel_for, Exec, ResidentPool, RunCounters, RunCounts};
 pub use scheduler::{
-    Expansion, FrontierScheduler, FrontierTask, ParallelScheduler, SequentialScheduler,
+    DriveStats, Expansion, FrontierScheduler, FrontierTask, ParallelScheduler, SequentialScheduler,
 };
 
 /// Resolves a user-facing thread budget: `0` means "all available

@@ -1,23 +1,38 @@
-//! A scoped work-stealing pool over `std::thread` (no external deps).
+//! Work-stealing execution over `std::thread` (no external deps): a scoped
+//! fork-join primitive and a resident pool behind one [`Exec`] handle.
 //!
 //! [`parallel_for`] runs one closure over an indexed slice of items on up
-//! to `ctxs.len()` scoped workers. Each worker owns one mutable context
-//! (the chase threads its per-worker `SolverCache`/`SaturatedState` memos
-//! through here) and pulls work from its own bounded deque; idle workers
+//! to `ctxs.len()` workers. Each worker owns one mutable context (the chase
+//! threads its per-worker `SolverCache`/`SaturatedState` memos through
+//! here) and pulls work from its own bounded deque; idle workers
 //! *batch-steal* half of a victim's remaining ranges in one lock
 //! acquisition. Results are tagged with their item index and returned in
 //! item order, so callers observe a deterministic, sequential-equivalent
 //! output regardless of how work was interleaved.
 //!
-//! Workers are *scoped per call* (spawned at entry, joined before return) —
-//! a fork-join primitive, not a resident pool. Callers amortize the spawn
-//! cost by batching: the frontier scheduler hands over whole waves, spills
-//! narrow waves inline, and keeps cheap phases inline below a fan-out
-//! threshold.
+//! Two thread-provisioning strategies share that drain logic:
+//!
+//! - **Scoped** ([`parallel_for`], `Exec` without a pool): workers are
+//!   spawned at entry and joined before return. Zero standing cost, but a
+//!   spawn/join round per call — the right trade for one-shot entry points
+//!   (`run_variant`).
+//! - **Resident** ([`ResidentPool`], `Exec::resident`): a pool of parked
+//!   workers is spawned once (per `cqi::Session`) and fed *batches*. A
+//!   batch submission publishes one entrant closure — "claim a context
+//!   slot and steal until the queues are dry" — to the pool's injector and
+//!   wakes the workers; the **submitting thread self-drains the same
+//!   batch**, so a batch completes even when every resident worker is busy
+//!   (which also makes nested submission from inside a worker
+//!   deadlock-free), while idle residents join as extra hands. A
+//!   close-and-wait barrier keeps the batch's borrowed state alive until
+//!   the last entrant has left.
 
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// How many items a worker claims from its own queue per lock acquisition.
 /// Small enough to keep the tail of a wave balanced, large enough that the
@@ -26,12 +41,30 @@ fn batch_size(items: usize, workers: usize) -> usize {
     (items / (workers * 4)).clamp(1, 64)
 }
 
+/// Seeds one contiguous range per worker (cache-friendly); the deques are
+/// bounded by construction (≤ `items` entries total).
+fn seed_queues(items: usize, workers: usize) -> Vec<Mutex<VecDeque<Range<usize>>>> {
+    (0..workers)
+        .map(|w| {
+            let per = items.div_ceil(workers);
+            let start = (w * per).min(items);
+            let end = ((w + 1) * per).min(items);
+            let mut q = VecDeque::new();
+            if start < end {
+                q.push_back(start..end);
+            }
+            Mutex::new(q)
+        })
+        .collect()
+}
+
 /// Pops a batch from the worker's own deque (front), or batch-steals half
 /// of a victim's backmost range. Returns `None` when every queue is empty.
 fn pop_or_steal(
     queues: &[Mutex<VecDeque<Range<usize>>>],
     worker: usize,
     batch: usize,
+    steals: &AtomicU64,
 ) -> Option<Range<usize>> {
     {
         let mut q = queues[worker].lock().unwrap();
@@ -51,6 +84,7 @@ fn pop_or_steal(
         let victim = (worker + off) % n;
         let mut q = queues[victim].lock().unwrap();
         if let Some(r) = q.pop_back() {
+            steals.fetch_add(1, Ordering::Relaxed);
             if r.len() > 1 {
                 let mid = r.start + r.len() / 2;
                 q.push_back(r.start..mid);
@@ -60,6 +94,71 @@ fn pop_or_steal(
         }
     }
     None
+}
+
+/// One worker's drain loop: claim-or-steal ranges until every queue is
+/// empty, collecting `(index, result)` pairs.
+fn drain_queues<T, C, R, F>(
+    queues: &[Mutex<VecDeque<Range<usize>>>],
+    worker: usize,
+    batch: usize,
+    steals: &AtomicU64,
+    ctx: &mut C,
+    items: &[T],
+    f: &F,
+) -> Vec<(usize, R)>
+where
+    F: Fn(&mut C, usize, &T) -> R,
+{
+    let mut got: Vec<(usize, R)> = Vec::new();
+    while let Some(range) = pop_or_steal(queues, worker, batch, steals) {
+        for i in range {
+            got.push((i, f(ctx, i, &items[i])));
+        }
+    }
+    got
+}
+
+/// Assembles tagged results into item order, panicking on a gap (every
+/// index must be processed exactly once).
+fn assemble<R>(items: usize, tagged: Vec<(usize, R)>) -> Vec<R> {
+    let mut out: Vec<Option<R>> = (0..items).map(|_| None).collect();
+    for (i, r) in tagged {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every index processed exactly once"))
+        .collect()
+}
+
+/// Counters one execution run accumulates across its `Exec` fan-outs, for
+/// the engine-stats surface (`ChaseStats`).
+#[derive(Debug, Default)]
+pub struct RunCounters {
+    /// Ranges taken from another worker's queue.
+    pub steals: AtomicU64,
+    /// Fan-outs served by the resident pool.
+    pub resident_batches: AtomicU64,
+    /// Fan-outs served by scoped spawn-per-call threads.
+    pub scoped_batches: AtomicU64,
+}
+
+/// A point-in-time copy of [`RunCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCounts {
+    pub steals: u64,
+    pub resident_batches: u64,
+    pub scoped_batches: u64,
+}
+
+impl RunCounters {
+    pub fn snapshot(&self) -> RunCounts {
+        RunCounts {
+            steals: self.steals.load(Ordering::Relaxed),
+            resident_batches: self.resident_batches.load(Ordering::Relaxed),
+            scoped_batches: self.scoped_batches.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Runs `f(ctx, index, &items[index])` for every item, fanning out over at
@@ -73,56 +172,374 @@ where
     R: Send,
     F: Fn(&mut C, usize, &T) -> R + Sync,
 {
-    assert!(!ctxs.is_empty(), "parallel_for needs at least one context");
-    let workers = ctxs.len().min(items.len());
-    if workers <= 1 {
-        let ctx = &mut ctxs[0];
-        return items.iter().enumerate().map(|(i, t)| f(ctx, i, t)).collect();
+    Exec::scoped().run(ctxs, items, f)
+}
+
+/// Execution handle threaded through the schedulers and the chase:
+/// [`Exec::run`] is `parallel_for` routed to the resident pool when one is
+/// attached (the session path), to scoped threads otherwise (one-shot
+/// `run_variant`).
+#[derive(Clone, Copy, Default)]
+pub struct Exec<'p> {
+    pool: Option<&'p ResidentPool>,
+    counters: Option<&'p RunCounters>,
+}
+
+impl<'p> Exec<'p> {
+    /// Spawn-per-call execution (the fallback path).
+    pub fn scoped() -> Exec<'static> {
+        Exec {
+            pool: None,
+            counters: None,
+        }
     }
-    let batch = batch_size(items.len(), workers);
-    // Seed each worker's deque with one contiguous range (cache-friendly);
-    // the deques are bounded by construction (≤ items.len() entries total).
-    let queues: Vec<Mutex<VecDeque<Range<usize>>>> = (0..workers)
-        .map(|w| {
-            let per = items.len().div_ceil(workers);
-            let start = (w * per).min(items.len());
-            let end = ((w + 1) * per).min(items.len());
-            let mut q = VecDeque::new();
-            if start < end {
-                q.push_back(start..end);
+
+    /// Execution over a resident pool; the calling thread still
+    /// participates in every batch, so a pool of `n` workers yields up to
+    /// `n + 1`-way parallelism.
+    pub fn resident(pool: &'p ResidentPool) -> Exec<'p> {
+        Exec {
+            pool: Some(pool),
+            counters: None,
+        }
+    }
+
+    /// Attaches run counters (steal/batch totals accumulate into them).
+    pub fn with_counters(self, counters: &'p RunCounters) -> Exec<'p> {
+        Exec {
+            counters: Some(counters),
+            ..self
+        }
+    }
+
+    /// Whether fan-outs go to a resident pool (`false` means scoped
+    /// threads).
+    pub fn is_resident(&self) -> bool {
+        self.pool.is_some_and(|p| p.workers() > 0)
+    }
+
+    /// The useful fan-out of one nested dispatch: the resident pool's
+    /// worker count plus the calling thread. Scoped handles report 1 —
+    /// their fan-out is bounded by the caller's context slice, and nested
+    /// spawns would oversubscribe rather than reuse idle workers.
+    pub fn width(&self) -> usize {
+        match self.pool {
+            Some(p) => p.workers() + 1,
+            None => 1,
+        }
+    }
+
+    /// Runs `f` over the indexed items on up to `ctxs.len()` workers and
+    /// returns results in item order. See [`parallel_for`] for the
+    /// contract; the thread source is this handle's strategy.
+    pub fn run<T, C, R, F>(&self, ctxs: &mut [C], items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        C: Send,
+        R: Send,
+        F: Fn(&mut C, usize, &T) -> R + Sync,
+    {
+        assert!(!ctxs.is_empty(), "Exec::run needs at least one context");
+        let workers = ctxs.len().min(items.len());
+        if workers <= 1 {
+            let ctx = &mut ctxs[0];
+            return items.iter().enumerate().map(|(i, t)| f(ctx, i, t)).collect();
+        }
+        let batch = batch_size(items.len(), workers);
+        let queues = seed_queues(items.len(), workers);
+        let steals = AtomicU64::new(0);
+        let tagged = match self.pool {
+            Some(pool) if pool.workers() > 0 => {
+                if let Some(c) = self.counters {
+                    c.resident_batches.fetch_add(1, Ordering::Relaxed);
+                }
+                run_resident(pool, ctxs, items, &f, workers, batch, &queues, &steals)
             }
-            Mutex::new(q)
-        })
-        .collect();
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            _ => {
+                if let Some(c) = self.counters {
+                    c.scoped_batches.fetch_add(1, Ordering::Relaxed);
+                }
+                run_scoped(ctxs, items, &f, workers, batch, &queues, &steals)
+            }
+        };
+        if let Some(c) = self.counters {
+            c.steals
+                .fetch_add(steals.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        assemble(items.len(), tagged)
+    }
+}
+
+/// The scoped strategy: spawn workers, drain, join.
+#[allow(clippy::too_many_arguments)]
+fn run_scoped<T, C, R, F>(
+    ctxs: &mut [C],
+    items: &[T],
+    f: &F,
+    workers: usize,
+    batch: usize,
+    queues: &[Mutex<VecDeque<Range<usize>>>],
+    steals: &AtomicU64,
+) -> Vec<(usize, R)>
+where
+    T: Sync,
+    C: Send,
+    R: Send,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = ctxs
             .iter_mut()
             .take(workers)
             .enumerate()
             .map(|(w, ctx)| {
-                let queues = &queues;
-                let f = &f;
-                s.spawn(move || {
-                    let mut got: Vec<(usize, R)> = Vec::new();
-                    while let Some(range) = pop_or_steal(queues, w, batch) {
-                        for i in range {
-                            got.push((i, f(ctx, i, &items[i])));
-                        }
-                    }
-                    got
-                })
+                s.spawn(move || drain_queues(queues, w, batch, steals, ctx, items, f))
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("pool worker panicked") {
-                out[i] = Some(r);
-            }
+            tagged.extend(h.join().expect("pool worker panicked"));
         }
     });
-    out.into_iter()
-        .map(|o| o.expect("every index processed exactly once"))
-        .collect()
+    tagged
+}
+
+/// Context slots for resident batches. Each raw pointer is claimed by
+/// exactly one entrant (a unique `fetch_add` ticket), so no two threads
+/// ever alias a context; `C: Send` makes shipping that exclusive borrow to
+/// a pool thread sound.
+struct CtxSlots<C>(Vec<*mut C>);
+unsafe impl<C: Send> Sync for CtxSlots<C> {}
+
+impl<C> CtxSlots<C> {
+    /// Raw pointer to slot `i`. A caller holding a unique ticket for the
+    /// slot may dereference it mutably — no other thread claims it.
+    fn slot(&self, i: usize) -> *mut C {
+        self.0[i]
+    }
+}
+
+/// The resident strategy: publish one entrant closure to the pool, drain
+/// the batch on the calling thread too, and barrier until every entrant
+/// has left.
+#[allow(clippy::too_many_arguments)]
+fn run_resident<T, C, R, F>(
+    pool: &ResidentPool,
+    ctxs: &mut [C],
+    items: &[T],
+    f: &F,
+    workers: usize,
+    batch: usize,
+    queues: &[Mutex<VecDeque<Range<usize>>>],
+    steals: &AtomicU64,
+) -> Vec<(usize, R)>
+where
+    T: Sync,
+    C: Send,
+    R: Send,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    let slots = CtxSlots(ctxs.iter_mut().map(|c| c as *mut C).collect());
+    let next_slot = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let work = || {
+        let s = next_slot.fetch_add(1, Ordering::Relaxed);
+        if s >= workers {
+            return;
+        }
+        // Unique ticket ⇒ exclusive access to this slot's context.
+        let ctx: &mut C = unsafe { &mut *slots.slot(s) };
+        let got = drain_queues(queues, s, batch, steals, ctx, items, f);
+        if !got.is_empty() {
+            results.lock().unwrap().extend(got);
+        }
+    };
+    pool.run_batch(workers - 1, &work);
+    results.into_inner().unwrap()
+}
+
+/// State of one submitted batch, shared between the submitter and the
+/// resident workers that join it.
+struct Batch {
+    /// The entrant closure, borrowed from the submitter's stack with its
+    /// lifetime erased. Dereferenced only between a successful
+    /// [`Batch::try_enter`] and the matching exit, and the submitter blocks
+    /// until `closed && active == 0` before unwinding its frame — so the
+    /// borrow is live for every call.
+    work: &'static (dyn Fn() + Sync),
+    state: Mutex<BatchState>,
+    /// Signalled when `active` drops to zero.
+    idle: Condvar,
+}
+
+#[derive(Default)]
+struct BatchState {
+    /// No further entrants; set by the submitter at barrier time.
+    closed: bool,
+    /// Entrants currently inside `work`.
+    active: usize,
+    /// An entrant's `work` call panicked (re-raised by the submitter).
+    panicked: bool,
+}
+
+impl Batch {
+    fn try_enter(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return false;
+        }
+        st.active += 1;
+        true
+    }
+
+    fn exit(&self, panicked: bool) {
+        let mut st = self.state.lock().unwrap();
+        st.active -= 1;
+        st.panicked |= panicked;
+        if st.active == 0 {
+            self.idle.notify_all();
+        }
+    }
+}
+
+/// Closes the batch and waits out in-flight entrants when dropped — on the
+/// normal path *and* when the submitter's own drain unwinds, so resident
+/// workers never outlive the borrows captured in `work`.
+struct BatchGuard<'a> {
+    pool: &'a ResidentPool,
+    batch: &'a Arc<Batch>,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.batch.state.lock().unwrap();
+        st.closed = true;
+        while st.active > 0 {
+            st = self.batch.idle.wait(st).unwrap();
+        }
+        let panicked = st.panicked;
+        drop(st);
+        // Sweep tickets no worker redeemed, so closed batches don't pile up
+        // in the injector.
+        let mut inj = self.pool.shared.inj.lock().unwrap();
+        inj.tickets.retain(|t| !Arc::ptr_eq(t, self.batch));
+        drop(inj);
+        if panicked && !std::thread::panicking() {
+            panic!("resident pool worker panicked");
+        }
+    }
+}
+
+#[derive(Default)]
+struct Injector {
+    /// One ticket per requested helper; a worker redeems a ticket by
+    /// joining the batch (or drops it if the batch already closed).
+    tickets: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    inj: Mutex<Injector>,
+    ready: Condvar,
+}
+
+/// A resident worker pool: `threads` parked OS threads, spawned once and
+/// fed batches through [`ResidentPool::run_batch`] (normally via
+/// [`Exec::resident`]). Dropping the pool shuts the workers down.
+pub struct ResidentPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ResidentPool {
+    /// Spawns `threads` resident workers. A pool of zero workers is valid
+    /// (every batch just runs on the submitting thread).
+    pub fn new(threads: usize) -> ResidentPool {
+        let shared = Arc::new(PoolShared {
+            inj: Mutex::new(Injector::default()),
+            ready: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ResidentPool { shared, handles }
+    }
+
+    /// Number of resident workers.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs one batch: requests up to `helpers` resident workers to join,
+    /// runs `work` on the calling thread, and blocks until every joined
+    /// worker has left. `work` must be reentrant — each entrant calls it
+    /// once, concurrently. Nested `run_batch` from inside `work` is safe
+    /// (the nested submitter self-drains).
+    pub fn run_batch(&self, helpers: usize, work: &(dyn Fn() + Sync)) {
+        // Erase the borrow's lifetime; BatchGuard's close-and-wait barrier
+        // (which also runs on unwind) keeps it live for every entrant.
+        let work: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(work) };
+        let batch = Arc::new(Batch {
+            work,
+            state: Mutex::new(BatchState::default()),
+            idle: Condvar::new(),
+        });
+        let helpers = helpers.min(self.handles.len());
+        if helpers > 0 {
+            let mut inj = self.shared.inj.lock().unwrap();
+            for _ in 0..helpers {
+                inj.tickets.push_back(Arc::clone(&batch));
+            }
+            drop(inj);
+            self.shared.ready.notify_all();
+        }
+        let _guard = BatchGuard {
+            pool: self,
+            batch: &batch,
+        };
+        work();
+        // _guard drops here: close, wait out helpers, sweep stale tickets.
+    }
+}
+
+impl Drop for ResidentPool {
+    fn drop(&mut self) {
+        {
+            let mut inj = self.shared.inj.lock().unwrap();
+            inj.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let batch = {
+            let mut inj = shared.inj.lock().unwrap();
+            loop {
+                if inj.shutdown {
+                    return;
+                }
+                if let Some(b) = inj.tickets.pop_front() {
+                    break b;
+                }
+                inj = shared.ready.wait(inj).unwrap();
+            }
+        };
+        if batch.try_enter() {
+            // Trap panics so the submitter can re-raise them at its barrier
+            // (mirroring scoped join semantics) and this worker keeps
+            // serving later batches.
+            let r = catch_unwind(AssertUnwindSafe(|| (batch.work)()));
+            batch.exit(r.is_err());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +602,98 @@ mod tests {
             *x + 1
         });
         assert_eq!(out, (1..=256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resident_results_match_scoped() {
+        let pool = ResidentPool::new(3);
+        let items: Vec<usize> = (0..1000).collect();
+        let mut ctxs = vec![(); 4];
+        let out = Exec::resident(&pool).run(&mut ctxs, &items, |_, i, x| {
+            assert_eq!(i, *x);
+            x * 3
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resident_pool_is_reusable_across_batches() {
+        let pool = ResidentPool::new(2);
+        let exec = Exec::resident(&pool);
+        let items: Vec<usize> = (0..300).collect();
+        for round in 0..20 {
+            let mut ctxs = vec![0usize; 3];
+            let out = exec.run(&mut ctxs, &items, |ctx, _, x| {
+                *ctx += 1;
+                x + round
+            });
+            assert_eq!(out, (0..300).map(|x| x + round).collect::<Vec<_>>());
+            assert_eq!(ctxs.iter().sum::<usize>(), 300);
+        }
+    }
+
+    #[test]
+    fn resident_zero_workers_runs_on_caller() {
+        let pool = ResidentPool::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let mut ctxs = vec![(); 4];
+        let out = Exec::resident(&pool).run(&mut ctxs, &items, |_, _, x| x * 2);
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_resident_batches_complete() {
+        // A batch item that itself fans out through the same pool — the
+        // inner submitter self-drains, so this terminates even when every
+        // resident worker is occupied by the outer batch.
+        let pool = ResidentPool::new(2);
+        let outer: Vec<usize> = (0..8).collect();
+        let mut ctxs = vec![(); 3];
+        let out = Exec::resident(&pool).run(&mut ctxs, &outer, |_, _, x| {
+            let inner: Vec<usize> = (0..50).collect();
+            let mut inner_ctxs = vec![(); 2];
+            let inner_out =
+                Exec::resident(&pool).run(&mut inner_ctxs, &inner, |_, _, y| y + x);
+            inner_out.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|x| (0..50).map(|y| y + x).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_counters_observe_batches() {
+        let pool = ResidentPool::new(2);
+        let counters = RunCounters::default();
+        let exec = Exec::resident(&pool).with_counters(&counters);
+        let items: Vec<usize> = (0..200).collect();
+        let mut ctxs = vec![(); 3];
+        exec.run(&mut ctxs, &items, |_, _, x| *x);
+        assert_eq!(counters.resident_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.scoped_batches.load(Ordering::Relaxed), 0);
+        // Scoped handle counts on the other ledger.
+        let scoped = Exec::scoped().with_counters(&counters);
+        let mut ctxs2 = vec![(); 2];
+        scoped.run(&mut ctxs2, &items, |_, _, x| *x);
+        assert_eq!(counters.scoped_batches.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_submitter_and_pool_survives() {
+        let pool = ResidentPool::new(2);
+        let items: Vec<usize> = (0..64).collect();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ctxs = vec![(); 3];
+            Exec::resident(&pool).run(&mut ctxs, &items, |_, _, x| {
+                if *x == 13 {
+                    panic!("boom");
+                }
+                *x
+            });
+        }));
+        assert!(r.is_err(), "panic must propagate to the submitter");
+        // The pool still serves later batches.
+        let mut ctxs = vec![(); 3];
+        let out = Exec::resident(&pool).run(&mut ctxs, &items, |_, _, x| x + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
     }
 }

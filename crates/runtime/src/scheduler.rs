@@ -14,8 +14,8 @@
 
 use std::collections::VecDeque;
 
-use crate::dedupe::{Offer, SetKey, ShardedDedupe};
-use crate::pool::parallel_for;
+use crate::dedupe::{DedupeStats, Offer, SetKey, ShardedDedupe};
+use crate::pool::Exec;
 
 /// What expanding one frontier item produced: either an accepted result
 /// (satisfying, consistent — not expanded further) or children to enqueue.
@@ -64,13 +64,29 @@ pub trait FrontierTask: Sync {
 /// relies on this for its time-to-first-instance guarantee; the
 /// `sink_flushes_per_wave_not_at_drive_end` test pins it down.
 pub trait FrontierScheduler<T: FrontierTask> {
+    /// `exec` is the thread source for wave fan-outs (resident pool or
+    /// scoped threads); the sequential driver ignores it.
     fn drive(
         &self,
+        exec: Exec<'_>,
         task: &T,
         ctxs: &mut [T::Ctx],
         seeds: Vec<T::Item>,
         sink: &mut dyn FnMut(T::Accept) -> bool,
-    );
+    ) -> DriveStats;
+}
+
+/// What one drive did, for the engine-stats surface.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriveStats {
+    /// FIFO waves processed (0 under the sequential driver, which has no
+    /// wave structure).
+    pub waves: u64,
+    /// Waves below the spill threshold, processed inline on the main
+    /// context.
+    pub spilled_waves: u64,
+    /// Duplicate-detection traffic of this drive.
+    pub dedupe: DedupeStats,
 }
 
 /// What happened to one inline-processed item (shared between the
@@ -122,11 +138,12 @@ pub struct SequentialScheduler;
 impl<T: FrontierTask> FrontierScheduler<T> for SequentialScheduler {
     fn drive(
         &self,
+        _exec: Exec<'_>,
         task: &T,
         ctxs: &mut [T::Ctx],
         seeds: Vec<T::Item>,
         sink: &mut dyn FnMut(T::Accept) -> bool,
-    ) {
+    ) -> DriveStats {
         let ctx = &mut ctxs[0];
         let dedupe: ShardedDedupe<T::Item> = ShardedDedupe::new(1);
         let mut queue: VecDeque<T::Item> = seeds.into();
@@ -140,13 +157,17 @@ impl<T: FrontierTask> FrontierScheduler<T> for SequentialScheduler {
                 InlineStep::Children(children) => queue.extend(children),
             }
         }
+        DriveStats {
+            dedupe: dedupe.stats(),
+            ..DriveStats::default()
+        }
     }
 }
 
 /// Below this wave width the offer/keying phase runs inline: keying is
-/// microsecond-scale work and [`parallel_for`] spawns scoped threads per
-/// call, so narrow waves would pay more in spawns than they save.
-/// (Expansion — the expensive phase — still fans out from
+/// microsecond-scale work and even a resident-pool dispatch costs a lock
+/// round-trip per helper, so narrow waves would pay more in dispatch than
+/// they save. (Expansion — the expensive phase — still fans out from
 /// `min_frontier` up.)
 const KEY_FANOUT_MIN: usize = 32;
 
@@ -183,15 +204,17 @@ enum Verdict {
 impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
     fn drive(
         &self,
+        exec: Exec<'_>,
         task: &T,
         ctxs: &mut [T::Ctx],
         seeds: Vec<T::Item>,
         sink: &mut dyn FnMut(T::Accept) -> bool,
-    ) {
+    ) -> DriveStats {
         let dedupe: ShardedDedupe<T::Item> = ShardedDedupe::new(self.shards);
         let iso = |a: &T::Item, b: &T::Item| task.is_duplicate(a, b);
         let mut frontier: Vec<T::Item> = seeds;
         let mut next_seq: u64 = 0;
+        let mut stats = DriveStats::default();
         'drive: while !frontier.is_empty() {
             if task.stopped(&mut ctxs[0]) {
                 break;
@@ -204,8 +227,10 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
                     (s, item)
                 })
                 .collect();
+            stats.waves += 1;
 
             if ctxs.len() <= 1 || wave.len() < self.min_frontier.max(2) {
+                stats.spilled_waves += 1;
                 // Spill threshold: process the wave inline on the main
                 // context, via the same per-item step as the sequential
                 // driver (offers arrive in FIFO order, so Tentative is
@@ -229,7 +254,7 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
             // Either way the surviving set is the FIFO-first representative
             // of every class.
             let survivors: Vec<usize> = if wave.len() >= KEY_FANOUT_MIN {
-                let verdicts: Vec<Verdict> = parallel_for(ctxs, &wave, |_, _, (seq, item)| {
+                let verdicts: Vec<Verdict> = exec.run(ctxs, &wave, |_, _, (seq, item)| {
                     if !task.admit(item) {
                         return Verdict::Skipped;
                     }
@@ -263,9 +288,7 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
 
             // Phase 3 (parallel): expand survivors on worker-local contexts.
             let expansions: Vec<Expansion<T::Item, T::Accept>> =
-                parallel_for(ctxs, &survivors, |ctx, _, &widx| {
-                    task.expand(ctx, &wave[widx].1)
-                });
+                exec.run(ctxs, &survivors, |ctx, _, &widx| task.expand(ctx, &wave[widx].1));
 
             // Phase 4: merge accepted results and children in FIFO order.
             for exp in expansions {
@@ -278,6 +301,8 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
                 frontier.extend(exp.children);
             }
         }
+        stats.dedupe = dedupe.stats();
+        stats
     }
 }
 
@@ -362,7 +387,7 @@ mod tests {
         let mut ctxs: Vec<Ctx> = (0..workers).map(|_| Ctx::default()).collect();
         let mut got = Vec::new();
         let seeds = vec![Node { value: 2, gen: 0 }, Node { value: 4, gen: 0 }];
-        s.drive(task, &mut ctxs, seeds, &mut |a| {
+        s.drive(Exec::scoped(), task, &mut ctxs, seeds, &mut |a| {
             got.push(a);
             cap.is_none_or(|c| got.len() < c)
         });
@@ -399,6 +424,31 @@ mod tests {
         let (seq_out, _) = run(&SequentialScheduler, &t, 1, None);
         let (par_out, _) = run(&ParallelScheduler::new(2), &t, 4, None);
         assert_eq!(seq_out, par_out);
+    }
+
+    #[test]
+    fn resident_exec_matches_sequential() {
+        let t = task();
+        let pool = crate::pool::ResidentPool::new(3);
+        let counters = crate::pool::RunCounters::default();
+        let mut ctxs: Vec<Ctx> = (0..4).map(|_| Ctx::default()).collect();
+        let mut got = Vec::new();
+        let seeds = vec![Node { value: 2, gen: 0 }, Node { value: 4, gen: 0 }];
+        let exec = Exec::resident(&pool).with_counters(&counters);
+        let stats = ParallelScheduler::new(2).drive(exec, &t, &mut ctxs, seeds, &mut |a| {
+            got.push(a);
+            true
+        });
+        let (seq_out, _) = run(&SequentialScheduler, &t, 1, None);
+        assert_eq!(got, seq_out, "resident-pool drive must match sequential");
+        assert!(stats.waves > 0);
+        assert!(
+            counters
+                .resident_batches
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0,
+            "wide waves should dispatch to the resident pool"
+        );
     }
 
     #[test]
@@ -472,7 +522,7 @@ mod tests {
             };
             let mut ctxs: Vec<Ctx> = (0..workers).map(|_| Ctx::default()).collect();
             let seeds = vec![Node { value: 2, gen: 0 }, Node { value: 4, gen: 0 }];
-            ParallelScheduler::new(2).drive(&task, &mut ctxs, seeds, &mut |a| {
+            ParallelScheduler::new(2).drive(Exec::scoped(), &task, &mut ctxs, seeds, &mut |a| {
                 task.log.lock().unwrap().push(("accept", a));
                 true
             });

@@ -128,6 +128,21 @@ impl SolverCache {
         self.store(canon.key.clone(), result);
     }
 
+    /// Reads the canonical-space entry for `key` without touching LRU state
+    /// or counters — for callers (the chase's shared L2 tier) that mirror
+    /// entries into another store and keep their own counters. `None` means
+    /// absent; `Some(None)` records unsat.
+    pub fn peek_canonical(&self, key: &CanonKey) -> Option<Option<Model>> {
+        self.map.get(key).map(|e| e.result.clone())
+    }
+
+    /// Records a canonical-space outcome decided elsewhere (a shared-memo
+    /// hit filled from another worker). `result` is a canonical-space
+    /// witness; `None` records unsat.
+    pub fn insert_canonical(&mut self, key: CanonKey, result: Option<Model>) {
+        self.store(key, result);
+    }
+
     fn store(&mut self, key: CanonKey, result: Option<Model>) {
         if self.map.len() >= self.capacity {
             self.evict();

@@ -13,10 +13,35 @@
 //!   bounds are iteratively tightened to the next integer
 //!   (difference-logic style).
 //! * Infeasibility manifests as a **positive-weight cycle** under the
-//!   longest-path semantics `val(to) ≥ val(from) + w`, detected by
-//!   Bellman-Ford.
+//!   longest-path semantics `val(to) ≥ val(from) + w`, or as a pinned
+//!   class whose longest-path distance exceeds its pin.
 //! * Disequalities are resolved by splitting (`x ≠ y ⇒ x < y ∨ y < x`),
 //!   which keeps the procedure complete for order constraints.
+//!
+//! ## Relaxation strategy
+//!
+//! Pins are *not* encoded as source/back edges (the classic
+//! difference-constraint gadget); they seed the distance vector exactly and
+//! are re-checked for equality after the fixpoint. That leaves only
+//! constraint edges with non-negative weights, so:
+//!
+//! * **Cold solves** run direction-partitioned label-correcting (Yen's
+//!   ordering): one ascending sweep over forward edges plus one descending
+//!   sweep over backward edges per pass, Gauss-Seidel style. Monotone
+//!   chains converge in one or two passes instead of the O(V) rounds of
+//!   textbook Bellman-Ford; a system still relaxing after `n + 2` passes
+//!   has a positive cycle (Yen's bound is ⌈n/2⌉ + 1).
+//! * **Warm re-solves** ([`solve_order_warm`]) run incremental
+//!   label-correcting with a pending max-heap: distances seed from the
+//!   previous solution, one scan finds the edges the delta violated, and
+//!   repair pops the highest pending class first so a single-edge delta
+//!   touches only the classes downstream of it. A small improvement budget
+//!   bounds the heap work; exceeding it means the cascade is broad enough
+//!   that sweeps beat heap traffic, and the solve downgrades to the cold
+//!   sweeps mid-flight (sound: partial improvements are valid
+//!   relaxations), never declaring "unsat" from the warm side alone.
+
+use std::sync::Arc;
 
 /// Symbolic weight `sum + eps·ε` for an infinitesimal `ε > 0`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,6 +123,24 @@ impl OrderProblem {
 /// Decides the system; on success returns one concrete value per class
 /// (integral for integer classes, exact for pinned classes).
 pub fn solve_order(p: &OrderProblem) -> Option<Vec<f64>> {
+    solve_order_cached(p, None, &mut OrderCache::default())
+}
+
+/// Rebuild the cached CSR once this many edges have accumulated past it —
+/// below that the per-solve "extras" overlay is cheaper than a rebuild.
+const CSR_REFRESH: usize = 16;
+
+/// The incremental entry point: warm seeds *and* a cached adjacency.
+/// `cache` must come from a previous solve of a problem this one grew from
+/// append-only (same nodes/edges prefix, `int_class` of covered nodes
+/// unchanged) — the theory solver's delta path guarantees exactly that.
+/// Edges past the cached prefix ride along as an overlay; the cache is
+/// refreshed once the overlay exceeds [`CSR_REFRESH`].
+pub(crate) fn solve_order_cached(
+    p: &OrderProblem,
+    warm: Option<WarmSeed<'_>>,
+    cache: &mut OrderCache,
+) -> Option<Vec<f64>> {
     for (i, v) in p.pinned.iter().enumerate() {
         if let Some(v) = v {
             if p.int_class[i] && v.fract() != 0.0 {
@@ -108,16 +151,36 @@ pub fn solve_order(p: &OrderProblem) -> Option<Vec<f64>> {
     if p.neqs.iter().any(|(a, b)| a == b) {
         return None; // x ≠ x
     }
-    solve_rec(p, 0)
+    let csr = match &cache.csr {
+        Some(c) if c.valid_for(p) => Arc::clone(c),
+        _ => {
+            let c = Arc::new(OrderCsr::build(p));
+            cache.csr = Some(Arc::clone(&c));
+            c
+        }
+    };
+    let res = match warm {
+        Some(w) if w.usable(p) => try_warm(p, w, &csr).or_else(|| solve_rec(p, 0, &csr)),
+        _ => solve_rec(p, 0, &csr),
+    };
+    if res.is_some() && p.edges.len() - csr.edges_done > CSR_REFRESH {
+        cache.csr = Some(Arc::new(OrderCsr::build(p)));
+    }
+    res
 }
 
 /// [`solve_order`] with an *incremental warm start*: `warm[i]` is class
 /// `i`'s value from a previous solve of a sub-system of `p` (fewer edges,
-/// possibly fewer merged classes). Bellman-Ford under the longest-path
-/// semantics is monotone, and distances only grow as constraints are added,
-/// so seeding the relaxation at the old values lets it converge in a couple
-/// of rounds instead of `O(V)` — the chase's delta re-solve path extends a
-/// parent conjunction by one or two literals.
+/// possibly fewer merged classes). Relaxation under the longest-path
+/// semantics is monotone and distances only grow as constraints are added,
+/// so the warm path seeds the distance vector at the old absolute values
+/// (re-based against the current base, which keeps base-shifting deltas
+/// such as a first pinned constant warm), finds the few edges the delta
+/// violated in one scan, and repairs just their downstream cone with a
+/// pending max-heap — near-logarithmic work per single-edge delta instead
+/// of a full `O(V·E)` re-relaxation. The chase's delta re-solve path
+/// extends a parent conjunction by one or two literals, which is exactly
+/// this shape.
 ///
 /// Soundness does not rest on the warm values being right: the warm
 /// attempt's output is fully [`verify`]d, and any failure (spurious
@@ -125,26 +188,35 @@ pub fn solve_order(p: &OrderProblem) -> Option<Vec<f64>> {
 /// falls back to the cold solver. Warm and cold are therefore
 /// answer-equivalent; only wall-clock differs.
 pub fn solve_order_warm(p: &OrderProblem, warm: &[Option<f64>]) -> Option<Vec<f64>> {
-    if warm.len() == p.n && warm.iter().any(Option::is_some) {
-        if let Some(vals) = try_warm(p, warm) {
-            return Some(vals);
-        }
-    }
-    solve_order(p)
+    solve_order_cached(p, Some(WarmSeed::Sparse(warm)), &mut OrderCache::default())
 }
 
-/// One warm attempt: quick pin/disequality screens, a warm-seeded
-/// candidate, and a full verification. `None` means "inconclusive — run
-/// cold", never "unsat".
-fn try_warm(p: &OrderProblem, warm: &[Option<f64>]) -> Option<Vec<f64>> {
-    for (i, v) in p.pinned.iter().enumerate() {
-        if let Some(v) = v {
-            if p.int_class[i] && v.fract() != 0.0 {
-                return None;
-            }
+/// Borrowed warm-seed forms accepted by [`candidate`].
+#[derive(Clone, Copy)]
+pub(crate) enum WarmSeed<'a> {
+    /// One optional absolute value per class (`len == n`).
+    Sparse(&'a [Option<f64>]),
+    /// Absolute values for the class prefix `0..len` (`len <= n`) — the
+    /// theory solver's delta shape, where classes are append-only and the
+    /// previous solve valued every class then extant.
+    Dense(&'a [f64]),
+}
+
+impl WarmSeed<'_> {
+    /// Whether the seed is shaped for `p` and carries any information.
+    fn usable(&self, p: &OrderProblem) -> bool {
+        match self {
+            WarmSeed::Sparse(v) => v.len() == p.n && v.iter().any(Option::is_some),
+            WarmSeed::Dense(v) => !v.is_empty() && v.len() <= p.n,
         }
     }
-    let vals = candidate(p, Some(warm))?;
+}
+
+/// One warm attempt: a warm-seeded candidate and a full verification (the
+/// pin/disequality screens already ran in [`solve_order_cached`]). `None`
+/// means "inconclusive — run cold", never "unsat".
+fn try_warm(p: &OrderProblem, warm: WarmSeed<'_>, csr: &OrderCsr) -> Option<Vec<f64>> {
+    let vals = candidate(p, Some(warm), csr)?;
     // Disequality collisions need the splitting search — cold path.
     if p.neqs.iter().any(|&(a, b)| vals[a] == vals[b]) {
         return None;
@@ -152,17 +224,19 @@ fn try_warm(p: &OrderProblem, warm: &[Option<f64>]) -> Option<Vec<f64>> {
     verify(p, &vals).then_some(vals)
 }
 
-fn solve_rec(p: &OrderProblem, depth: usize) -> Option<Vec<f64>> {
-    let vals = candidate(p, None)?;
+fn solve_rec(p: &OrderProblem, depth: usize, csr: &OrderCsr) -> Option<Vec<f64>> {
+    let vals = candidate(p, None, csr)?;
     // Resolve disequality collisions by splitting on the order.
     if let Some(&(a, b)) = p.neqs.iter().find(|(a, b)| vals[*a] == vals[*b]) {
         if depth > 2 * p.neqs.len() + 2 {
             return None;
         }
         for (from, to) in [(a, b), (b, a)] {
+            // `q` grows append-only from `p`, so the CSR stays valid (the
+            // split edge rides in the overlay).
             let mut q = p.clone();
             q.lt(from, to);
-            if let Some(v) = solve_rec(&q, depth + 1) {
+            if let Some(v) = solve_rec(&q, depth + 1, csr) {
                 return Some(v);
             }
         }
@@ -171,16 +245,292 @@ fn solve_rec(p: &OrderProblem, depth: usize) -> Option<Vec<f64>> {
     verify(p, &vals).then_some(vals)
 }
 
-/// Longest-path candidate assignment: Bellman-Ford from a virtual source
-/// pinned below everything, followed by integer tightening. `warm`
-/// optionally seeds the relaxation with per-class values from a previous
-/// solve of a sub-system (see [`solve_order_warm`]).
-fn candidate(p: &OrderProblem, warm: Option<&[Option<f64>]>) -> Option<Vec<f64>> {
+/// Max-heap key for the warm-repair pending queue: highest distance first
+/// (the class a delta raised most propagates furthest), class index as a
+/// deterministic tie-break.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Pending {
+    key: HeapW,
+    node: usize,
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Totally ordered wrapper over [`W`] (sums are always finite here).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct HeapW(W);
+
+impl Eq for HeapW {}
+
+impl PartialOrd for HeapW {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapW {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .sum
+            .total_cmp(&other.0.sum)
+            .then(self.0.eps.cmp(&other.0.eps))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.node.cmp(&other.node))
+    }
+}
+
+/// Weight of one constraint edge under the longest-path semantics.
+#[inline]
+fn edge_weight(p: &OrderProblem, e: &OrderEdge) -> W {
+    if !e.strict {
+        W::ZERO
+    } else if p.int_class[e.from] && p.int_class[e.to] {
+        W::new(1.0, 0)
+    } else {
+        W::new(0.0, 1)
+    }
+}
+
+/// The difference-constraint graph in relaxation form: non-negative
+/// constraint edges only (pins live in the seed vector), stored as a flat
+/// CSR adjacency (one offsets array, one edge array — no per-node
+/// `Vec`s). Covers an edge *prefix* of the problem that built it, so a
+/// grown problem can reuse it with the newer edges as an overlay (see
+/// [`RelaxGraph`]). Opaque outside the solver; cached across solves via
+/// [`OrderCache`].
+#[derive(Clone, Debug)]
+pub(crate) struct OrderCsr {
+    /// Nodes covered; out-edges of nodes `>= n` live in the overlay.
+    n: usize,
+    /// Edge prefix `p.edges[..edges_done]` folded in.
+    edges_done: usize,
+    /// `adj[off[v]..off[v + 1]]` are `v`'s out-edges.
+    off: Vec<u32>,
+    /// `(to, w)` grouped by `from`, insertion-ordered within a node.
+    adj: Vec<(u32, W)>,
+}
+
+impl OrderCsr {
+    fn build(p: &OrderProblem) -> OrderCsr {
+        let mut off = vec![0u32; p.n + 1];
+        for e in &p.edges {
+            off[e.from + 1] += 1;
+        }
+        for i in 0..p.n {
+            off[i + 1] += off[i];
+        }
+        let mut cursor: Vec<u32> = off[..p.n].to_vec();
+        let mut adj = vec![(0u32, W::ZERO); p.edges.len()];
+        for e in &p.edges {
+            adj[cursor[e.from] as usize] = (e.to as u32, edge_weight(p, e));
+            cursor[e.from] += 1;
+        }
+        OrderCsr {
+            n: p.n,
+            edges_done: p.edges.len(),
+            off,
+            adj,
+        }
+    }
+
+    /// Shape check: `p` must have grown append-only from the building
+    /// problem (the caller's contract — this only screens the prefixes).
+    fn valid_for(&self, p: &OrderProblem) -> bool {
+        self.n <= p.n && self.edges_done <= p.edges.len()
+    }
+
+    #[inline]
+    fn out(&self, v: usize) -> &[(u32, W)] {
+        if v >= self.n {
+            return &[];
+        }
+        &self.adj[self.off[v] as usize..self.off[v + 1] as usize]
+    }
+}
+
+/// Carry-over state between solves of an append-only-growing problem.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct OrderCache {
+    csr: Option<Arc<OrderCsr>>,
+}
+
+/// The relaxation view a solve actually runs over: a (possibly cached)
+/// CSR prefix plus the weighted overlay of edges appended since the CSR
+/// was built. Within-pass edge order differs from a freshly built full
+/// CSR, but the least fixpoint (and hence every output) is
+/// order-independent.
+struct RelaxGraph<'a> {
+    n: usize,
+    csr: &'a OrderCsr,
+    /// `(from, to, w)` for `p.edges[csr.edges_done..]`.
+    extras: Vec<(u32, u32, W)>,
+}
+
+impl<'a> RelaxGraph<'a> {
+    fn new(p: &OrderProblem, csr: &'a OrderCsr) -> RelaxGraph<'a> {
+        let extras = p.edges[csr.edges_done..]
+            .iter()
+            .map(|e| (e.from as u32, e.to as u32, edge_weight(p, e)))
+            .collect();
+        RelaxGraph {
+            n: p.n,
+            csr,
+            extras,
+        }
+    }
+
+    #[inline]
+    fn out(&self, v: usize) -> &[(u32, W)] {
+        self.csr.out(v)
+    }
+
+    /// Cold fixpoint: alternating ascending/descending Gauss-Seidel sweeps
+    /// (Yen's ordering). Converges within `n + 2` passes for any
+    /// positive-cycle-free system (Yen's bound is ⌈n/2⌉ + 1); still
+    /// changing after the cap ⇒ positive cycle ⇒ `None` (exact: all edge
+    /// weights are non-negative).
+    fn relax_cold(&self, dist: &mut [W]) -> Option<()> {
+        for _pass in 0..self.n + 2 {
+            let mut changed = false;
+            for from in 0..self.n {
+                let df = dist[from];
+                for &(to, w) in self.out(from) {
+                    let cand = df.add(w);
+                    if cand.gt(dist[to as usize]) {
+                        dist[to as usize] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            for &(from, to, w) in &self.extras {
+                let cand = dist[from as usize].add(w);
+                if cand.gt(dist[to as usize]) {
+                    dist[to as usize] = cand;
+                    changed = true;
+                }
+            }
+            for from in (0..self.n).rev() {
+                let df = dist[from];
+                for &(to, w) in self.out(from) {
+                    let cand = df.add(w);
+                    if cand.gt(dist[to as usize]) {
+                        dist[to as usize] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            for &(from, to, w) in self.extras.iter().rev() {
+                let cand = dist[from as usize].add(w);
+                if cand.gt(dist[to as usize]) {
+                    dist[to as usize] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(());
+            }
+        }
+        None
+    }
+
+    /// Incremental repair: re-relax only what `pending` classes (those a
+    /// delta or tightening round raised) actually reach, popping the
+    /// highest distance first. Every improvement costs one unit of
+    /// `budget`; running out means the delta's cone is broad enough that
+    /// flat sweeps are cheaper than heap traffic, and the caller finishes
+    /// with [`Self::relax_cold`] — every improvement made so far is a
+    /// valid relaxation, so continuing with sweeps reaches the same least
+    /// fixpoint above the seeded floor. Unlike [`Self::relax_cold`],
+    /// `None` here is *never* an unsat verdict.
+    fn relax_warm(
+        &self,
+        dist: &mut [W],
+        heap: &mut std::collections::BinaryHeap<Pending>,
+        budget: &mut usize,
+    ) -> Option<()> {
+        while let Some(Pending { key, node }) = heap.pop() {
+            if key.0 != dist[node] {
+                continue; // stale entry — the node was raised again later
+            }
+            let df = dist[node];
+            let csr_out = self.out(node).iter().copied();
+            let extra_out = self
+                .extras
+                .iter()
+                .filter(|&&(f, _, _)| f as usize == node)
+                .map(|&(_, t, w)| (t, w));
+            for (to, w) in csr_out.chain(extra_out) {
+                let cand = df.add(w);
+                if cand.gt(dist[to as usize]) {
+                    if *budget == 0 {
+                        return None;
+                    }
+                    *budget -= 1;
+                    dist[to as usize] = cand;
+                    heap.push(Pending {
+                        key: HeapW(cand),
+                        node: to as usize,
+                    });
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Seeds the warm pending heap with every edge the seeded distances
+    /// violate (for a single-edge delta this is the handful of edges the
+    /// delta touched), applying the violated edges' improvements directly.
+    fn seed_violations(
+        &self,
+        dist: &mut [W],
+        heap: &mut std::collections::BinaryHeap<Pending>,
+    ) {
+        for from in 0..self.n {
+            let df = dist[from];
+            for &(to, w) in self.out(from) {
+                let cand = df.add(w);
+                if cand.gt(dist[to as usize]) {
+                    dist[to as usize] = cand;
+                    heap.push(Pending {
+                        key: HeapW(cand),
+                        node: to as usize,
+                    });
+                }
+            }
+        }
+        for &(from, to, w) in &self.extras {
+            let cand = dist[from as usize].add(w);
+            if cand.gt(dist[to as usize]) {
+                dist[to as usize] = cand;
+                heap.push(Pending {
+                    key: HeapW(cand),
+                    node: to as usize,
+                });
+            }
+        }
+    }
+}
+
+/// Longest-path candidate assignment followed by integer tightening.
+/// `warm` optionally seeds the relaxation with per-class values from a
+/// previous solve of a sub-system and switches relaxation to the
+/// pending-heap repair (see [`solve_order_warm`]).
+fn candidate(p: &OrderProblem, warm: Option<WarmSeed<'_>>, csr: &OrderCsr) -> Option<Vec<f64>> {
     let n = p.n;
-    let src = n;
     // With pinned constants the base must sit safely below every feasible
     // value; without them any base works, and a positive one makes
-    // grounded examples friendlier to read.
+    // grounded examples friendlier to read. Warm values are stored as
+    // *absolute* values precisely so that a delta that shifts the base
+    // (e.g. the first pinned constant) re-seeds correctly: the seed below
+    // subtracts whatever the current base is.
     let base = if p.pinned.iter().all(Option::is_none) {
         1.0
     } else {
@@ -192,47 +542,86 @@ fn candidate(p: &OrderProblem, warm: Option<&[Option<f64>]>) -> Option<Vec<f64>>
         min_pinned.floor() - (n as f64) - 2.0
     };
 
-    // (from, to, weight) in `val(to) ≥ val(from) + w` form.
-    let mut edges: Vec<(usize, usize, W)> = Vec::with_capacity(p.edges.len() + 3 * n + 2);
-    for e in &p.edges {
-        let w = if !e.strict {
-            W::ZERO
-        } else if p.int_class[e.from] && p.int_class[e.to] {
-            W::new(1.0, 0)
-        } else {
-            W::new(0.0, 1)
-        };
-        edges.push((e.from, e.to, w));
-    }
-    for i in 0..n {
-        edges.push((src, i, W::ZERO)); // every class ≥ base
-        if let Some(v) = p.pinned[i] {
-            edges.push((src, i, W::new(v - base, 0)));
-            edges.push((i, src, W::new(base - v, 0)));
+    let g = RelaxGraph::new(p, csr);
+
+    // Every class starts at the base floor; pins seed exactly (and are
+    // re-checked for equality after the fixpoint — feasibility's upper
+    // bounds all come from pins, so no back-edges are needed and every
+    // graph edge has non-negative weight); warm values seed at their
+    // previous absolute value. A stale-high warm seed at worst yields a
+    // feasible non-least assignment (fine — `verify` gates it) or a pin
+    // mismatch (the warm caller goes cold).
+    let mut dist: Vec<W> = vec![W::ZERO; n];
+    for (i, pin) in p.pinned.iter().enumerate() {
+        if let Some(v) = pin {
+            dist[i] = W::new(v - base, 0);
         }
     }
-
-    // Warm start: seed each class's distance at its previous value
-    // (relative to the current base). Previous values are ≤ the new least
-    // fixpoint whenever the old system was a sub-system with the same base,
-    // in which case relaxation converges in O(1) rounds; stale values at
-    // worst produce a verify failure or a spurious cycle, both of which the
-    // caller treats as "run cold".
-    let mut init: Vec<Option<W>> = vec![None; n + 1];
-    init[src] = Some(W::ZERO);
+    let mut heap = std::collections::BinaryHeap::new();
+    // Heap repair wins when the delta's downstream cone is small; past
+    // this many improvements a broad cascade is in flight and the flat
+    // sweeps are cheaper per relaxation than heap traffic, so the budget
+    // trips and the solve *downgrades* to cold sweeps mid-flight (sound:
+    // partial warm improvements are valid relaxations, and sweeps continue
+    // to the least fixpoint above the seeded floor).
+    let per_round_budget = 12 + n / 4;
+    let mut is_warm = warm.is_some();
     if let Some(warm) = warm {
-        for (i, w) in warm.iter().enumerate().take(n) {
-            if let Some(v) = w {
-                init[i] = Some(W::new((v - base).max(0.0), 0));
+        let mut floored = 0usize;
+        let mut seed_at = |dist: &mut [W], i: usize, v: f64| {
+            if v - base <= 0.0 {
+                floored += 1; // the old value sits at/below the new floor
+                return;
+            }
+            let seed = W::new(v - base, 0);
+            if seed.gt(dist[i]) {
+                dist[i] = seed;
+            }
+        };
+        match warm {
+            WarmSeed::Sparse(vals) => {
+                for (i, w) in vals.iter().enumerate().take(n) {
+                    if let Some(v) = w {
+                        seed_at(&mut dist, i, *v);
+                    }
+                }
+            }
+            WarmSeed::Dense(vals) => {
+                for (i, v) in vals.iter().enumerate().take(n) {
+                    seed_at(&mut dist, i, *v);
+                }
             }
         }
+        // A delta that shifted the base below most of the old values (the
+        // first pinned constant does this) clamps those seeds to the
+        // floor: they carry no information and everything must re-relax,
+        // so the pending-heap repair can only lose to flat sweeps.
+        if 2 * floored > n {
+            is_warm = false;
+            g.relax_cold(&mut dist)?;
+        } else {
+            g.seed_violations(&mut dist, &mut heap);
+            // A seed scan that already pending-queued more classes than
+            // the budget allows is a broad cascade — skip the heap too.
+            let mut budget = per_round_budget;
+            if heap.len() > per_round_budget
+                || g.relax_warm(&mut dist, &mut heap, &mut budget).is_none()
+            {
+                heap.clear();
+                is_warm = false;
+                g.relax_cold(&mut dist)?;
+            }
+        }
+    } else {
+        g.relax_cold(&mut dist)?;
     }
 
-    // Iteratively raised integer lower bounds (absolute values).
-    let mut int_lb: Vec<Option<f64>> = vec![None; n];
+    // Iteratively raised integer lower bounds (absolute values); without
+    // integer classes the tightening scan never indexes this.
+    let any_int = p.int_class.iter().any(|b| *b);
+    let mut int_lb: Vec<Option<f64>> = vec![None; if any_int { n } else { 0 }];
     let cap = 100 + 10 * n;
     for _round in 0..cap {
-        let dist = bellman_ford(&init, &edges, &int_lb, base)?;
         // Integer tightening: raise any integer class whose lower bound is
         // not attainable by an integer.
         let mut changed = false;
@@ -251,59 +640,46 @@ fn candidate(p: &OrderProblem, warm: Option<&[Option<f64>]>) -> Option<Vec<f64>>
             };
             if int_lb[i].is_none_or(|lb| required > lb) {
                 int_lb[i] = Some(required);
+                let cand = W::new(required - base, 0);
+                if cand.gt(dist[i]) {
+                    dist[i] = cand;
+                    if is_warm {
+                        heap.push(Pending {
+                            key: HeapW(cand),
+                            node: i,
+                        });
+                    }
+                }
                 changed = true;
             }
         }
         if !changed {
+            // Pins are seeds, not edges: a pinned class pushed above its
+            // pin means the system demands more than the pin allows.
+            for (i, pin) in p.pinned.iter().enumerate() {
+                if let Some(v) = pin {
+                    if dist[i] != W::new(v - base, 0) {
+                        return None;
+                    }
+                }
+            }
             return Some(realize(p, base, &dist));
+        }
+        // Re-relax from the raised classes only (relaxation is monotone,
+        // so continuing from the current vector reaches the same least
+        // fixpoint as restarting).
+        if is_warm {
+            let mut budget = per_round_budget;
+            if g.relax_warm(&mut dist, &mut heap, &mut budget).is_none() {
+                heap.clear();
+                is_warm = false;
+                g.relax_cold(&mut dist)?;
+            }
+        } else {
+            g.relax_cold(&mut dist)?;
         }
     }
     None // tightening did not converge (conservative unsat)
-}
-
-/// Longest paths from the virtual source; `None` on a positive cycle.
-/// `init` pre-seeds the distance vector (the source at zero, plus optional
-/// warm-start values — relaxation is monotone, so a below-fixpoint seed
-/// converges to the same fixpoint in fewer rounds).
-fn bellman_ford(
-    init: &[Option<W>],
-    edges: &[(usize, usize, W)],
-    int_lb: &[Option<f64>],
-    base: f64,
-) -> Option<Vec<W>> {
-    let nodes = init.len();
-    let mut dist: Vec<Option<W>> = init.to_vec();
-    let relax = |dist: &mut Vec<Option<W>>| -> bool {
-        let mut changed = false;
-        for &(from, to, w) in edges {
-            if let Some(df) = dist[from] {
-                let cand = df.add(w);
-                if dist[to].is_none_or(|dt| cand.gt(dt)) {
-                    dist[to] = Some(cand);
-                    changed = true;
-                }
-            }
-        }
-        for (i, lb) in int_lb.iter().enumerate() {
-            if let Some(lb) = lb {
-                let cand = W::new(lb - base, 0);
-                if dist[i].is_none_or(|d| cand.gt(d)) {
-                    dist[i] = Some(cand);
-                    changed = true;
-                }
-            }
-        }
-        changed
-    };
-    for _ in 0..nodes + 1 {
-        if !relax(&mut dist) {
-            break;
-        }
-    }
-    if relax(&mut dist) {
-        return None; // still relaxing ⇒ positive cycle
-    }
-    Some(dist.into_iter().map(|d| d.expect("source reaches all")).collect())
 }
 
 /// Converts symbolic distances to concrete floats with a sufficiently small
@@ -312,7 +688,7 @@ fn realize(p: &OrderProblem, base: f64, dist: &[W]) -> Vec<f64> {
     let sums: Vec<f64> = (0..p.n).map(|i| base + dist[i].sum).collect();
     let mut distinct: Vec<f64> = sums.clone();
     distinct.extend(p.pinned.iter().flatten().copied());
-    distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    distinct.sort_unstable_by(f64::total_cmp);
     distinct.dedup();
     let mut gap = 1.0f64;
     for w in distinct.windows(2) {
