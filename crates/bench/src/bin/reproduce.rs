@@ -11,7 +11,7 @@ use cqi_bench::harness::{
     runtime_series, time_to_first_series, RunRecord, SeriesSink, XMeasure,
 };
 use cqi_bench::userstudy::print_user_study;
-use cqi_core::{cq_neg_universal_solution, ChaseConfig, Variant};
+use cqi_core::{cq_neg_universal_solution, ChaseConfig, ExplainRequest, Session, Variant};
 use cqi_datasets::{beers_queries, dataset_stats, tpch_queries, DatasetQuery};
 use cqi_drc::SyntaxTree;
 use cqi_sql::sql_to_drc;
@@ -28,6 +28,10 @@ struct Opts {
     /// When set, every table/series is also written there as CSV plus a
     /// combined `figures.json` (machine-readable, CI-diffable).
     sink: Option<SeriesSink>,
+    /// When set, one representative explain runs with span tracing on
+    /// (`ExplainRequest::trace`), the Chrome trace-event JSON is written
+    /// here, and the `ChaseStats` phase breakdown lands in `figures.json`.
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -38,6 +42,7 @@ fn parse_opts(args: &[String]) -> Opts {
         quick: false,
         threads: 1,
         sink: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -72,6 +77,12 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.sink = Some(
                     SeriesSink::new(args.get(i).expect("--out-dir takes a directory"))
                         .expect("--out-dir must be creatable"),
+                );
+            }
+            "--trace-out" => {
+                i += 1;
+                o.trace_out = Some(
+                    args.get(i).expect("--trace-out takes a file path").into(),
                 );
             }
             other => panic!("unknown option `{other}`"),
@@ -260,13 +271,60 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: reproduce <table1|fig8|fig10|fig11|fig12|fig13|interactivity|table2|userstudy|cqneg|all> \
-                 [--timeout SECS] [--limit N] [--quick] [--threads N] [--out-dir DIR]"
+                 [--timeout SECS] [--limit N] [--quick] [--threads N] [--out-dir DIR] [--trace-out FILE]"
             );
             return;
         }
     }
+    if let Some(path) = opts.trace_out.clone() {
+        emit_trace(&mut opts, &path);
+    }
     if let Some(sink) = opts.sink.as_ref() {
         sink.finish().expect("writing figures.json to --out-dir");
+    }
+}
+
+/// `--trace-out`: runs one representative Beers explain (Q2B, Conj-Add)
+/// with span tracing on, writes the Chrome trace-event JSON (Perfetto /
+/// `chrome://tracing` loadable) to `path`, and emits the wall-time phase
+/// breakdown into `figures.json`.
+fn emit_trace(o: &mut Opts, path: &std::path::Path) {
+    let qs = beers_queries();
+    let dq = qs
+        .iter()
+        .find(|q| q.name == "Q2B")
+        .expect("the Beers workload contains Q2B");
+    let tree = SyntaxTree::new(dq.query.clone());
+    let session = Session::new(dq.query.schema.clone()).config(beers_cfg(o));
+    let sol = session
+        .explain_collect(
+            ExplainRequest::tree(&tree)
+                .variant(Variant::ConjAdd)
+                .trace(true),
+        )
+        .expect("pre-parsed trees compile unconditionally");
+    let trace = sol.trace.as_deref().expect("a traced run returns a trace");
+    std::fs::write(path, trace).expect("--trace-out must be writable");
+    println!("\n== traced explain (Q2B, Conj-Add) ==");
+    println!("  engine: {}", sol.stats);
+    println!("  trace: {} bytes -> {}", trace.len(), path.display());
+    let mut rows: Vec<Vec<String>> = sol
+        .stats
+        .phases()
+        .iter()
+        .map(|(name, ns)| vec![(*name).to_owned(), ns.to_string()])
+        .collect();
+    rows.push(vec![
+        "total_time_ns".to_owned(),
+        sol.total_time.as_nanos().to_string(),
+    ]);
+    if let Some(sink) = o.sink.as_mut() {
+        sink.emit_table(
+            "Traced explain (Q2B Conj-Add): phase breakdown (ns)",
+            &["phase", "ns"],
+            &rows,
+        )
+        .expect("writing phase breakdown to --out-dir");
     }
 }
 

@@ -36,6 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cqi_drc::{Atom, Formula, Query, Term, VarId};
+use cqi_obs::trace::{self, Phase};
 use cqi_instance::consistency::{
     conj_lits, is_consistent, is_consistent_cached, is_pure_conjunctive, to_problem,
 };
@@ -124,6 +125,19 @@ pub struct ChaseStats {
     pub incr_extends: u64,
     /// Chase steps that fell back to a full consistency check.
     pub incr_fallbacks: u64,
+    /// Wall-time phase breakdown (ns), populated only on traced runs
+    /// (`ChaseConfig::trace`) — derived from the same `cqi-obs` span
+    /// instrumentation as the Perfetto trace. Only *leaf* spans are
+    /// phase-attributed, so the components never double-count and, on a
+    /// single-threaded run, sum to ≤ total wall time (multi-thread runs
+    /// sum per-thread time, which may exceed wall clock).
+    pub phase_solver_ns: u64,
+    /// Time canonicalizing solver problems (color refinement + keys).
+    pub phase_canon_ns: u64,
+    /// Time in isomorphism dedupe (offers/confirms + nested admission).
+    pub phase_dedupe_ns: u64,
+    /// Time in scheduling (wave assembly/merge, batch collection).
+    pub phase_sched_ns: u64,
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -151,6 +165,22 @@ impl ChaseStats {
         rate(self.sat_l2.hits, self.sat_l2.misses)
     }
 
+    /// Sum of the phase-breakdown components (ns); `0` on untraced runs.
+    pub fn phase_total_ns(&self) -> u64 {
+        self.phase_solver_ns + self.phase_canon_ns + self.phase_dedupe_ns + self.phase_sched_ns
+    }
+
+    /// `(phase name, accumulated ns)` pairs, ordered like
+    /// [`cqi_obs::trace::Phase::ALL`].
+    pub fn phases(&self) -> [(&'static str, u64); 4] {
+        [
+            (Phase::Solver.name(), self.phase_solver_ns),
+            (Phase::Canon.name(), self.phase_canon_ns),
+            (Phase::Dedupe.name(), self.phase_dedupe_ns),
+            (Phase::Sched.name(), self.phase_sched_ns),
+        ]
+    }
+
     /// Serde-free JSON rendering for benchmark/reproduce reports.
     pub fn to_json(&self) -> String {
         format!(
@@ -159,7 +189,9 @@ impl ChaseStats {
              \"dedupe_offers\": {}, \"dedupe_duplicates\": {}, \"dedupe_iso_checks\": {}, \
              \"solver_l1_hit_rate\": {:.4}, \"solver_l2_hit_rate\": {:.4}, \
              \"sat_l1_hit_rate\": {:.4}, \"sat_l2_hit_rate\": {:.4}, \
-             \"l2_contended\": {}, \"incr_extends\": {}, \"incr_fallbacks\": {}}}",
+             \"l2_contended\": {}, \"incr_extends\": {}, \"incr_fallbacks\": {}, \
+             \"phases\": {{\"solver_ns\": {}, \"canonicalization_ns\": {}, \
+             \"dedupe_ns\": {}, \"scheduling_ns\": {}}}}}",
             self.waves,
             self.spilled_waves,
             self.steals,
@@ -175,7 +207,107 @@ impl ChaseStats {
             self.solver_l2.contended + self.sat_l2.contended,
             self.incr_extends,
             self.incr_fallbacks,
+            self.phase_solver_ns,
+            self.phase_canon_ns,
+            self.phase_dedupe_ns,
+            self.phase_sched_ns,
         )
+    }
+
+    /// Adds this run's counters to the process-wide `cqi-obs` registry (the
+    /// future `cqi-serve /metrics` payload). Deltas over monotone counters
+    /// keep the registry monotone; call once per completed run.
+    pub fn publish_metrics(&self) {
+        use std::sync::OnceLock;
+        struct Series {
+            waves: std::sync::Arc<cqi_obs::Counter>,
+            steals: std::sync::Arc<cqi_obs::Counter>,
+            dedupe_offers: std::sync::Arc<cqi_obs::Counter>,
+            dedupe_duplicates: std::sync::Arc<cqi_obs::Counter>,
+            solver_l1_hits: std::sync::Arc<cqi_obs::Counter>,
+            solver_l1_misses: std::sync::Arc<cqi_obs::Counter>,
+            solver_l2_hits: std::sync::Arc<cqi_obs::Counter>,
+            solver_l2_misses: std::sync::Arc<cqi_obs::Counter>,
+            incr_extends: std::sync::Arc<cqi_obs::Counter>,
+            incr_fallbacks: std::sync::Arc<cqi_obs::Counter>,
+            phase_ns: [std::sync::Arc<cqi_obs::Counter>; 4],
+        }
+        static SERIES: OnceLock<Series> = OnceLock::new();
+        let s = SERIES.get_or_init(|| {
+            let r = cqi_obs::global();
+            Series {
+                waves: r.counter("cqi_chase_waves_total", "frontier waves driven", &[]),
+                steals: r.counter("cqi_chase_steals_total", "work-stealing queue steals", &[]),
+                dedupe_offers: r.counter("cqi_dedupe_offers_total", "iso-dedupe offers", &[]),
+                dedupe_duplicates: r.counter(
+                    "cqi_dedupe_duplicates_total",
+                    "offers rejected as duplicates",
+                    &[],
+                ),
+                solver_l1_hits: r.counter(
+                    "cqi_solver_memo_lookups_total",
+                    "canonical-problem memo lookups by tier and outcome",
+                    &[("tier", "l1"), ("outcome", "hit")],
+                ),
+                solver_l1_misses: r.counter(
+                    "cqi_solver_memo_lookups_total",
+                    "canonical-problem memo lookups by tier and outcome",
+                    &[("tier", "l1"), ("outcome", "miss")],
+                ),
+                solver_l2_hits: r.counter(
+                    "cqi_solver_memo_lookups_total",
+                    "canonical-problem memo lookups by tier and outcome",
+                    &[("tier", "l2"), ("outcome", "hit")],
+                ),
+                solver_l2_misses: r.counter(
+                    "cqi_solver_memo_lookups_total",
+                    "canonical-problem memo lookups by tier and outcome",
+                    &[("tier", "l2"), ("outcome", "miss")],
+                ),
+                incr_extends: r.counter(
+                    "cqi_incremental_extends_total",
+                    "chase steps decided by saturated-state extension",
+                    &[],
+                ),
+                incr_fallbacks: r.counter(
+                    "cqi_incremental_fallbacks_total",
+                    "chase steps that fell back to a full solve",
+                    &[],
+                ),
+                phase_ns: [
+                    r.counter("cqi_phase_ns_total", "traced time per phase (ns)", &[(
+                        "phase",
+                        Phase::Solver.name(),
+                    )]),
+                    r.counter("cqi_phase_ns_total", "traced time per phase (ns)", &[(
+                        "phase",
+                        Phase::Canon.name(),
+                    )]),
+                    r.counter("cqi_phase_ns_total", "traced time per phase (ns)", &[(
+                        "phase",
+                        Phase::Dedupe.name(),
+                    )]),
+                    r.counter("cqi_phase_ns_total", "traced time per phase (ns)", &[(
+                        "phase",
+                        Phase::Sched.name(),
+                    )]),
+                ],
+            }
+        });
+        s.waves.add(self.waves);
+        s.steals.add(self.steals);
+        s.dedupe_offers.add(self.dedupe_offers);
+        s.dedupe_duplicates.add(self.dedupe_duplicates);
+        s.solver_l1_hits.add(self.solver_l1_hits);
+        s.solver_l1_misses.add(self.solver_l1_misses);
+        s.solver_l2_hits.add(self.solver_l2.hits);
+        s.solver_l2_misses.add(self.solver_l2.misses);
+        s.incr_extends.add(self.incr_extends);
+        s.incr_fallbacks.add(self.incr_fallbacks);
+        s.phase_ns[0].add(self.phase_solver_ns);
+        s.phase_ns[1].add(self.phase_canon_ns);
+        s.phase_ns[2].add(self.phase_dedupe_ns);
+        s.phase_ns[3].add(self.phase_sched_ns);
     }
 
     /// Accumulates another run's counters (workload-level aggregation in
@@ -203,6 +335,52 @@ impl ChaseStats {
         add(&mut self.sat_l2, other.sat_l2);
         self.incr_extends += other.incr_extends;
         self.incr_fallbacks += other.incr_fallbacks;
+        self.phase_solver_ns += other.phase_solver_ns;
+        self.phase_canon_ns += other.phase_canon_ns;
+        self.phase_dedupe_ns += other.phase_dedupe_ns;
+        self.phase_sched_ns += other.phase_sched_ns;
+    }
+}
+
+/// One-line human-readable summary — printed by `examples/streaming.rs`
+/// and handy in logs: counters first, hit rates in parentheses, and the
+/// traced phase breakdown (ms) when present.
+impl std::fmt::Display for ChaseStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "waves={}({} spilled) steals={} batches={}r/{}s \
+             dedupe={}/{}dup/{}iso solverL1={:.0}%({}) L2={:.0}%({}) \
+             satL1={:.0}%({}) incr={}+{}fb",
+            self.waves,
+            self.spilled_waves,
+            self.steals,
+            self.resident_batches,
+            self.scoped_batches,
+            self.dedupe_offers,
+            self.dedupe_duplicates,
+            self.dedupe_iso_checks,
+            self.solver_l1_hit_rate() * 100.0,
+            self.solver_l1_hits + self.solver_l1_misses,
+            self.solver_l2_hit_rate() * 100.0,
+            self.solver_l2.hits + self.solver_l2.misses,
+            self.sat_l1_hit_rate() * 100.0,
+            self.sat_l1_hits + self.sat_l1_misses,
+            self.incr_extends,
+            self.incr_fallbacks,
+        )?;
+        if self.phase_total_ns() > 0 {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            write!(
+                f,
+                " phases[solver={:.2}ms canon={:.2}ms dedupe={:.2}ms sched={:.2}ms]",
+                ms(self.phase_solver_ns),
+                ms(self.phase_canon_ns),
+                ms(self.phase_dedupe_ns),
+                ms(self.phase_sched_ns),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -213,6 +391,35 @@ fn sub_counts(a: MemoCounts, b: MemoCounts) -> MemoCounts {
         inserts: a.inserts - b.inserts,
         contended: a.contended - b.contended,
     }
+}
+
+/// Hot-path metric: every `IsConsistent` decision (memo hits included).
+/// The counter is shard-per-worker ([`cqi_obs::Counter`]), so the always-on
+/// cost is one uncontended relaxed add.
+fn consistency_checks_metric() -> &'static cqi_obs::Counter {
+    use std::sync::OnceLock;
+    static C: OnceLock<std::sync::Arc<cqi_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        cqi_obs::global().counter(
+            "cqi_consistency_checks_total",
+            "IsConsistent decisions on the chase hot path (memo hits included)",
+            &[],
+        )
+    })
+}
+
+/// Width of each nested-BFS wave, observed into a log-bucketed histogram
+/// (drives the `nested_min_wave` tuning from ROADMAP item 2).
+fn wave_width_metric() -> &'static cqi_obs::Histogram {
+    use std::sync::OnceLock;
+    static H: OnceLock<std::sync::Arc<cqi_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        cqi_obs::global().histogram(
+            "cqi_nested_wave_width",
+            "admitted width of nested-BFS waves",
+            &[],
+        )
+    })
 }
 
 fn hash_of<T: Hash>(t: &T) -> u64 {
@@ -446,6 +653,10 @@ pub struct Chase<'a> {
     /// [`Chase::stats`] reports per-run deltas despite session-persistent
     /// caches.
     stats_base: ChaseStats,
+    /// [`cqi_obs::trace::phase_totals`] at construction (the accumulators
+    /// are process-global and monotone; the delta is this run's traced
+    /// phase breakdown).
+    phase_base: [u64; 4],
     /// Hash of the query's variable table (names + domains). Folded into
     /// the sub-BFS memo key: two queries can share a formula *shape*
     /// (identical `VarId` structure) while naming/typing their variables
@@ -524,6 +735,7 @@ impl<'a> Chase<'a> {
             run_counters: RunCounters::default(),
             drive_acc: DriveStats::default(),
             stats_base: ChaseStats::default(),
+            phase_base: trace::phase_totals(),
             query_key,
         };
         chase.stats_base = chase.cumulative_stats();
@@ -604,7 +816,12 @@ impl<'a> Chase<'a> {
     pub fn stats(&self) -> ChaseStats {
         let cur = self.cumulative_stats();
         let base = &self.stats_base;
+        let phases = trace::phase_totals();
         ChaseStats {
+            phase_solver_ns: phases[0].saturating_sub(self.phase_base[0]),
+            phase_canon_ns: phases[1].saturating_sub(self.phase_base[1]),
+            phase_dedupe_ns: phases[2].saturating_sub(self.phase_base[2]),
+            phase_sched_ns: phases[3].saturating_sub(self.phase_base[3]),
             waves: cur.waves,
             spilled_waves: cur.spilled_waves,
             steals: cur.steals,
@@ -678,6 +895,7 @@ impl<'a> Chase<'a> {
             self.cancelled = true;
             return;
         }
+        let _root_span = trace::span("root_job", "chase");
         let (i0, h0) = bind_free_vars(self.query, formula, seed, seed_h);
         let exec = match self.pool.as_deref() {
             Some(p) if self.threads > 1 => Exec::resident(p),
@@ -783,8 +1001,10 @@ impl<'a> Chase<'a> {
             None => Exec::scoped(),
         }
         .with_counters(&self.run_counters);
+        let _fanout_span = trace::span("root_job_fanout", "chase");
         let per_job: Vec<(Vec<(CInstance, Duration)>, DriveStats)> =
             exec.run(&mut self.ctxs, &jobs, |ctx, _, job| {
+                let _job_span = trace::span("root_job", "chase");
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     ctx.timed_out = true;
                     return (Vec::new(), DriveStats::default());
@@ -1010,62 +1230,96 @@ impl Engine<'_> {
         if let Some(v) = self.ctx.consist_memo.get(&key) {
             return *v;
         }
+        consistency_checks_metric().inc();
         let ans = if self.cfg.solver_cache {
-            let problem = to_problem(child, self.cfg.enforce_keys);
-            let canon = canonicalize(&problem);
-            match self.ctx.solver_cache.lookup_sat(&canon) {
+            let canon = {
+                let _s = trace::span_phase("canonicalize", "solver", Phase::Canon);
+                let problem = to_problem(child, self.cfg.enforce_keys);
+                canonicalize(&problem)
+            };
+            let l1 = {
+                let _s = trace::span_phase("l1_lookup", "solver", Phase::Solver);
+                self.ctx.solver_cache.lookup_sat(&canon)
+            };
+            match l1 {
                 Some(sat) => sat,
                 // L1 miss → consult the shared L2 tier (multi-thread runs
                 // only): a sibling worker may already have decided an
                 // isomorphic step. L2 stores canonical-space outcomes, so a
                 // hit back-fills L1 directly.
-                None => match self
-                    .ctx
-                    .share_l2
-                    .then(|| self.ctx.shared.solver.get(&canon.key))
-                    .flatten()
-                {
-                    Some(result) => {
-                        let sat = result.is_some();
-                        self.ctx.solver_cache.insert_canonical(canon.key.clone(), result);
-                        sat
-                    }
-                    None => match self.incremental_check(parent, child) {
-                        Some(ext) => {
-                            self.ctx.incr_extends += 1;
-                            // Canonical-space outcome is a pure function of
-                            // the key, so publishing to L2 is race-benign
-                            // (first writer wins, all writers agree).
-                            let result = ext.as_ref().map(|st| canon.model_to_canon(st.model()));
-                            if self.ctx.share_l2 {
-                                self.ctx.shared.solver.insert(canon.key.clone(), result.clone());
-                            }
+                None => {
+                    let l2 = {
+                        let _s = trace::span_phase("l2_lookup", "solver", Phase::Solver);
+                        self.ctx
+                            .share_l2
+                            .then(|| self.ctx.shared.solver.get(&canon.key))
+                            .flatten()
+                    };
+                    match l2 {
+                        Some(result) => {
+                            let sat = result.is_some();
                             self.ctx.solver_cache.insert_canonical(canon.key.clone(), result);
-                            match ext {
-                                Some(st) => {
-                                    self.memoize_state(state_key(key, child), st);
-                                    true
-                                }
-                                None => false,
-                            }
-                        }
-                        None => {
-                            self.ctx.incr_fallbacks += 1;
-                            let sat = self.ctx.solver_cache.solve_canonical(&canon).is_sat();
-                            if self.ctx.share_l2 {
-                                if let Some(result) =
-                                    self.ctx.solver_cache.peek_canonical(&canon.key)
-                                {
-                                    self.ctx.shared.solver.insert(canon.key.clone(), result);
-                                }
-                            }
                             sat
                         }
-                    },
-                },
+                        None => {
+                            let incr = {
+                                let _s = trace::span_phase(
+                                    "incremental_extend",
+                                    "solver",
+                                    Phase::Solver,
+                                );
+                                self.incremental_check(parent, child)
+                            };
+                            match incr {
+                                Some(ext) => {
+                                    self.ctx.incr_extends += 1;
+                                    // Canonical-space outcome is a pure function of
+                                    // the key, so publishing to L2 is race-benign
+                                    // (first writer wins, all writers agree).
+                                    let result =
+                                        ext.as_ref().map(|st| canon.model_to_canon(st.model()));
+                                    if self.ctx.share_l2 {
+                                        self.ctx
+                                            .shared
+                                            .solver
+                                            .insert(canon.key.clone(), result.clone());
+                                    }
+                                    self.ctx
+                                        .solver_cache
+                                        .insert_canonical(canon.key.clone(), result);
+                                    match ext {
+                                        Some(st) => {
+                                            self.memoize_state(state_key(key, child), st);
+                                            true
+                                        }
+                                        None => false,
+                                    }
+                                }
+                                None => {
+                                    self.ctx.incr_fallbacks += 1;
+                                    let _s = trace::span_phase("solve", "solver", Phase::Solver);
+                                    let sat =
+                                        self.ctx.solver_cache.solve_canonical(&canon).is_sat();
+                                    if self.ctx.share_l2 {
+                                        if let Some(result) =
+                                            self.ctx.solver_cache.peek_canonical(&canon.key)
+                                        {
+                                            self.ctx.shared.solver.insert(canon.key.clone(), result);
+                                        }
+                                    }
+                                    sat
+                                }
+                            }
+                        }
+                    }
+                }
             }
         } else {
-            match self.incremental_check(parent, child) {
+            let incr = {
+                let _s = trace::span_phase("incremental_extend", "solver", Phase::Solver);
+                self.incremental_check(parent, child)
+            };
+            match incr {
                 Some(ext) => {
                     self.ctx.incr_extends += 1;
                     match ext {
@@ -1078,6 +1332,7 @@ impl Engine<'_> {
                 }
                 None => {
                     self.ctx.incr_fallbacks += 1;
+                    let _s = trace::span_phase("solve", "solver", Phase::Solver);
                     is_consistent(child, self.cfg.enforce_keys)
                 }
             }
@@ -1087,8 +1342,11 @@ impl Engine<'_> {
     }
 
     /// From-scratch `IsConsistent`, through the canonical-problem memo when
-    /// enabled.
+    /// enabled. (Attributed wholesale to the solver phase: canonicalization
+    /// happens inside the cached path and can't be split out here.)
     fn full_check(&mut self, inst: &CInstance) -> bool {
+        consistency_checks_metric().inc();
+        let _s = trace::span_phase("full_check", "solver", Phase::Solver);
         if self.cfg.solver_cache {
             is_consistent_cached(inst, self.cfg.enforce_keys, &mut self.ctx.solver_cache)
         } else {
@@ -1235,22 +1493,27 @@ impl Engine<'_> {
             if self.stopped() {
                 break;
             }
+            let _wave_span = trace::span("nested_wave", "chase");
             // Line 10: size bound and visited (isomorphism) check.
             let mut wave: Vec<CInstance> = Vec::new();
-            for inst in std::mem::take(&mut frontier) {
-                if inst.size() > self.cfg.limit {
-                    continue;
+            {
+                let _s = trace::span_phase("nested_admit", "dedupe", Phase::Dedupe);
+                for inst in std::mem::take(&mut frontier) {
+                    if inst.size() > self.cfg.limit {
+                        continue;
+                    }
+                    let sig = signature(&inst);
+                    if visited
+                        .iter()
+                        .any(|(s, v)| *s == sig && is_isomorphic(v, &inst))
+                    {
+                        continue;
+                    }
+                    visited.push((sig, inst.clone()));
+                    wave.push(inst);
                 }
-                let sig = signature(&inst);
-                if visited
-                    .iter()
-                    .any(|(s, v)| *s == sig && is_isomorphic(v, &inst))
-                {
-                    continue;
-                }
-                visited.push((sig, inst.clone()));
-                wave.push(inst);
             }
+            wave_width_metric().observe(wave.len() as u64);
             let steps = self.expand_wave(q, &h0, &wave);
             // `steps` may be shorter than `wave` if the run stopped
             // mid-wave; zip drops the tail, matching the sequential break.
@@ -1316,6 +1579,7 @@ impl Engine<'_> {
             }
             return steps;
         }
+        let _fanout_span = trace::span("nested_wave_fanout", "chase");
         let mut scratch = std::mem::take(&mut self.ctx.scratch);
         while scratch.len() < width {
             let mut fresh = WorkerCtx::new(self.cfg, Arc::clone(&self.ctx.shared));

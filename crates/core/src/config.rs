@@ -156,6 +156,13 @@ pub struct ChaseConfig {
     /// the instances accepted so far. `None` (the default) costs nothing on
     /// the hot path.
     pub cancel: Option<CancelToken>,
+    /// Capture a span trace of the run (`cqi-obs`): request → root job →
+    /// wave → solver-call spans recorded into per-thread ring buffers and
+    /// returned as Chrome trace-event JSON on `CSolution::trace`, plus the
+    /// `ChaseStats` wall-time phase breakdown. Off (the default), the
+    /// instrumentation costs one relaxed atomic load per span site; the
+    /// accepted stream is byte-identical either way.
+    pub trace: bool,
 }
 
 impl ChaseConfig {
@@ -174,6 +181,7 @@ impl ChaseConfig {
             parallel_min_frontier: 4,
             nested_min_wave: 8,
             cancel: None,
+            trace: false,
         }
     }
 
@@ -229,6 +237,11 @@ impl ChaseConfig {
 
     pub fn cancel(mut self, token: CancelToken) -> ChaseConfig {
         self.cancel = Some(token);
+        self
+    }
+
+    pub fn trace(mut self, on: bool) -> ChaseConfig {
+        self.trace = on;
         self
     }
 

@@ -58,6 +58,7 @@ pub fn cq_neg_universal_solution(tree: &SyntaxTree, enforce_keys: bool) -> Optio
         interrupted: None,
         total_time: start.elapsed(),
         stats: crate::chase::ChaseStats::default(),
+        trace: None,
     })
 }
 

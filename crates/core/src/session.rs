@@ -102,6 +102,7 @@ pub struct ExplainRequest<'q> {
     max_results: Option<usize>,
     threads: Option<usize>,
     cancel: Option<CancelToken>,
+    trace: Option<bool>,
 }
 
 impl<'q> ExplainRequest<'q> {
@@ -114,6 +115,7 @@ impl<'q> ExplainRequest<'q> {
             max_results: None,
             threads: None,
             cancel: None,
+            trace: None,
         }
     }
 
@@ -172,6 +174,17 @@ impl<'q> ExplainRequest<'q> {
     /// together is intended (tokens never reset).
     pub fn cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Captures a span trace of this request (`cqi-obs`): the run's
+    /// request → root job → wave → solver-call span tree is returned as
+    /// Chrome trace-event JSON on [`CSolution::trace`] (load it in
+    /// Perfetto), and [`CSolution::stats`] gains the wall-time phase
+    /// breakdown. The accepted stream is byte-identical with tracing on or
+    /// off; untraced requests pay one relaxed atomic load per span site.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
         self
     }
 }
@@ -272,6 +285,9 @@ impl Session {
         }
         if let Some(tok) = &req.cancel {
             cfg.cancel = Some(tok.clone());
+        }
+        if let Some(tr) = req.trace {
+            cfg.trace = tr;
         }
         cfg
     }
@@ -666,6 +682,7 @@ mod tests {
             interrupted: None,
             total_time: Duration::ZERO,
             stats: Default::default(),
+            trace: None,
         };
 
         // Unfinished: the worker blocks on a gate until after the drop.

@@ -123,6 +123,11 @@ pub struct CSolution {
     /// dedupe traffic (all zero when the producing path doesn't run a
     /// chase, e.g. the trivially-unsatisfiable short-circuit).
     pub stats: ChaseStats,
+    /// Chrome trace-event JSON of the run's span tree (`cqi-obs`), captured
+    /// when the request asked for it (`ChaseConfig::trace` /
+    /// `ExplainRequest::trace`). Load it in Perfetto or `chrome://tracing`.
+    /// `None` on untraced runs.
+    pub trace: Option<String>,
 }
 
 impl CSolution {
@@ -279,6 +284,7 @@ mod tests {
             interrupted: None,
             total_time: Duration::from_millis(80),
             stats: ChaseStats::default(),
+            trace: None,
         };
         assert_eq!(sol.num_coverages(), 3);
         assert!((sol.mean_size() - 2.0).abs() < 1e-9);

@@ -88,6 +88,13 @@ fn run_variant_inner(
     let universal_fresh = cfg
         .universal_fresh_nulls
         .unwrap_or_else(|| variant.universal_fresh_nulls());
+    // Span capture is per-request: the refcount turns recording on for the
+    // duration of this run only, and the guard below becomes the trace's
+    // root "explain" span. Untraced runs skip both (inert guards).
+    if cfg.trace {
+        cqi_obs::trace::begin_capture();
+    }
+    let explain_span = cqi_obs::trace::span("explain", "request");
     // Multi-thread budgets get a resident pool spawned once per cache
     // lifetime (i.e. once per `Session`) and reused across runs; one-shot
     // and sequential runs keep the spawn-free scoped path.
@@ -142,15 +149,22 @@ fn run_variant_inner(
     } else {
         None
     };
-    let sol = CSolution {
+    let mut sol = CSolution {
         instances: minimize(entries),
         raw_accepted,
         timed_out: chase.timed_out,
         interrupted,
         total_time: chase.start.elapsed(),
         stats: chase.stats(),
+        trace: None,
     };
     chase.recycle_into(caches);
+    // Close the root span before draining, so it lands in the export.
+    drop(explain_span);
+    if cfg.trace {
+        sol.trace = Some(cqi_obs::trace::end_capture());
+    }
+    sol.stats.publish_metrics();
     sol
 }
 

@@ -1,0 +1,34 @@
+//! # cqi-obs
+//!
+//! Zero-dependency observability for the chase engine: a process-wide
+//! [`metrics`] registry (atomic counters, gauges, and log-bucketed
+//! histograms, with per-worker sharding on hot paths) and a low-overhead
+//! [`trace`] span recorder (thread-local span stacks writing into
+//! per-thread ring buffers, exported as Chrome trace-event JSON loadable
+//! in Perfetto).
+//!
+//! Both halves are built for a hot engine:
+//!
+//! * **Disabled-path cost is one branch.** [`trace::span`] checks a single
+//!   relaxed atomic and returns an inert guard when no capture is active;
+//!   metrics are plain relaxed atomic adds (sharded on contended paths).
+//! * **No allocation on the hot path.** Span names/categories are
+//!   `&'static str`; events are fixed-size structs pushed into a
+//!   bounded ring (oldest events are overwritten when a thread overflows
+//!   its ring, never blocking the recorder).
+//! * **Determinism-safe by construction.** Nothing here feeds back into
+//!   control flow: recording reads clocks and writes buffers only, so an
+//!   instrumented run accepts the byte-identical instance stream whether
+//!   tracing is on or off (proven by proptest in the umbrella crate).
+//!
+//! Exports are serde-free strings: [`metrics::Registry::render_text`] is a
+//! Prometheus-style text exposition (every sample line parses as
+//! `name{labels} value` — the future `cqi-serve /metrics` payload),
+//! [`metrics::Registry::render_json`] the same registry as JSON, and
+//! [`trace::end_capture`] a Chrome `traceEvents` JSON document.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use trace::{enabled, span, span_phase, Phase, SpanGuard};

@@ -29,6 +29,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use cqi_obs::trace::{self, Phase};
+
 /// The two-level key of the dedupe set: a renaming-invariant `signature`
 /// (equal for all members of an isomorphism class — the shard/bucket key)
 /// and an exact structural `digest` (equal only for identical instances —
@@ -121,6 +123,7 @@ impl<T: Clone> ShardedDedupe<T> {
         item: &T,
         iso: &F,
     ) -> Offer {
+        let _s = trace::span_phase("dedupe_offer", "dedupe", Phase::Dedupe);
         self.offers.fetch_add(1, Ordering::Relaxed);
         let mut map = self.shard(key.signature).lock().unwrap();
         let bucket = map.entry(key.signature).or_default();
@@ -155,6 +158,7 @@ impl<T: Clone> ShardedDedupe<T> {
         item: &T,
         iso: &F,
     ) -> bool {
+        let _s = trace::span_phase("dedupe_confirm", "dedupe", Phase::Dedupe);
         let map = self.shard(key.signature).lock().unwrap();
         let Some(bucket) = map.get(&key.signature) else {
             return false;

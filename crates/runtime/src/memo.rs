@@ -99,6 +99,7 @@ impl<K: Hash + Eq, V: Clone> StripedMemo<K, V> {
 
     /// Looks `key` up, cloning the value out (no lock is held on return).
     pub fn get(&self, key: &K) -> Option<V> {
+        let _s = cqi_obs::trace::span("l2_get", "memo");
         let got = self.lock(self.stripe(key)).get(key).cloned();
         match &got {
             Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
@@ -111,6 +112,7 @@ impl<K: Hash + Eq, V: Clone> StripedMemo<K, V> {
     /// wins on duplicate keys — values are pure functions of keys, so
     /// racing writers agree semantically).
     pub fn insert(&self, key: K, value: V) {
+        let _s = cqi_obs::trace::span("l2_insert", "memo");
         let mut g = self.lock(self.stripe(&key));
         if g.len() < self.stripe_cap || g.contains_key(&key) {
             g.entry(key).or_insert(value);

@@ -34,6 +34,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use cqi_obs::trace::{self, Phase};
+
 /// How many items a worker claims from its own queue per lock acquisition.
 /// Small enough to keep the tail of a wave balanced, large enough that the
 /// lock is off the hot path.
@@ -122,6 +124,7 @@ where
 /// Assembles tagged results into item order, panicking on a gap (every
 /// index must be processed exactly once).
 fn assemble<R>(items: usize, tagged: Vec<(usize, R)>) -> Vec<R> {
+    let _s = trace::span_phase("assemble", "sched", Phase::Sched);
     let mut out: Vec<Option<R>> = (0..items).map(|_| None).collect();
     for (i, r) in tagged {
         out[i] = Some(r);
@@ -253,12 +256,14 @@ impl<'p> Exec<'p> {
                 if let Some(c) = self.counters {
                     c.resident_batches.fetch_add(1, Ordering::Relaxed);
                 }
+                let _s = trace::span("resident_batch", "pool");
                 run_resident(pool, ctxs, items, &f, workers, batch, &queues, &steals)
             }
             _ => {
                 if let Some(c) = self.counters {
                     c.scoped_batches.fetch_add(1, Ordering::Relaxed);
                 }
+                let _s = trace::span("scoped_batch", "pool");
                 run_scoped(ctxs, items, &f, workers, batch, &queues, &steals)
             }
         };

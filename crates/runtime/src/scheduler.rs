@@ -14,6 +14,8 @@
 
 use std::collections::VecDeque;
 
+use cqi_obs::trace::{self, Phase};
+
 use crate::dedupe::{DedupeStats, Offer, SetKey, ShardedDedupe};
 use crate::pool::Exec;
 
@@ -219,14 +221,18 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
             if task.stopped(&mut ctxs[0]) {
                 break;
             }
-            let wave: Vec<(u64, T::Item)> = frontier
-                .drain(..)
-                .map(|item| {
-                    let s = next_seq;
-                    next_seq += 1;
-                    (s, item)
-                })
-                .collect();
+            let _wave_span = trace::span("wave", "sched");
+            let wave: Vec<(u64, T::Item)> = {
+                let _s = trace::span_phase("wave_assemble", "sched", Phase::Sched);
+                frontier
+                    .drain(..)
+                    .map(|item| {
+                        let s = next_seq;
+                        next_seq += 1;
+                        (s, item)
+                    })
+                    .collect()
+            };
             stats.waves += 1;
 
             if ctxs.len() <= 1 || wave.len() < self.min_frontier.max(2) {
@@ -254,6 +260,7 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
             // Either way the surviving set is the FIFO-first representative
             // of every class.
             let survivors: Vec<usize> = if wave.len() >= KEY_FANOUT_MIN {
+                let _offer_span = trace::span("wave_offer_fanout", "sched");
                 let verdicts: Vec<Verdict> = exec.run(ctxs, &wave, |_, _, (seq, item)| {
                     if !task.admit(item) {
                         return Verdict::Skipped;
@@ -287,10 +294,13 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
             };
 
             // Phase 3 (parallel): expand survivors on worker-local contexts.
-            let expansions: Vec<Expansion<T::Item, T::Accept>> =
-                exec.run(ctxs, &survivors, |ctx, _, &widx| task.expand(ctx, &wave[widx].1));
+            let expansions: Vec<Expansion<T::Item, T::Accept>> = {
+                let _s = trace::span("wave_expand", "sched");
+                exec.run(ctxs, &survivors, |ctx, _, &widx| task.expand(ctx, &wave[widx].1))
+            };
 
             // Phase 4: merge accepted results and children in FIFO order.
+            let _merge_span = trace::span("wave_merge", "sched");
             for exp in expansions {
                 if let Some(a) = exp.accepted {
                     if !sink(a) {

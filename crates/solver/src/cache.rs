@@ -111,6 +111,7 @@ impl SolverCache {
     /// the original naming. (The cached result is a pure function of the
     /// key.)
     pub fn solve_canonical(&mut self, canon: &Canonical) -> Outcome {
+        let _s = cqi_obs::trace::span("dpll_solve", "solver");
         let result = crate::dpll::solve(&canon.problem()).model();
         let outcome = match &result {
             Some(m) => Outcome::Sat(canon.model_to_orig(m)),

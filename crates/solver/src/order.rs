@@ -123,6 +123,7 @@ impl OrderProblem {
 /// Decides the system; on success returns one concrete value per class
 /// (integral for integer classes, exact for pinned classes).
 pub fn solve_order(p: &OrderProblem) -> Option<Vec<f64>> {
+    let _s = cqi_obs::trace::span("solve_order", "solver");
     solve_order_cached(p, None, &mut OrderCache::default())
 }
 

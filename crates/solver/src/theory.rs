@@ -588,6 +588,7 @@ impl Saturation {
 /// (number vs text) are unsatisfiable rather than errors: they can arise
 /// transiently inside DPLL branches.
 pub fn check_conj(types: &[DomainType], lits: &[Lit]) -> Option<Model> {
+    let _s = cqi_obs::trace::span("check_conj", "solver");
     let mut sat = Saturation::new(types);
     for lit in lits {
         if !sat.assert_lit(lit) {

@@ -63,6 +63,8 @@ fn main() {
         sol.num_coverages(),
         sol.time_to_first().unwrap_or_default(),
     );
+    // The engine-stats one-liner (waves, memo hit rates, dedupe traffic).
+    println!("engine: {}", sol.stats);
 
     // One line of the service-response rendering.
     if let Some(si) = sol.instances.first() {

@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`schema`] | `cqi-schema` | values, domains, relations, constraints |
 //! | [`solver`] | `cqi-solver` | DPLL(T)-lite condition solver |
+//! | [`obs`] | `cqi-obs` | metrics registry + span tracing (Perfetto export, text exposition) |
 //! | [`runtime`] | `cqi-runtime` | work-stealing frontier scheduler + concurrent iso-dedupe |
 //! | [`instance`] | `cqi-instance` | c-instances, consistency, isomorphism, grounding |
 //! | [`drc`] | `cqi-drc` | DRC parser, normalizer, pretty-printer, syntax trees |
@@ -69,6 +70,7 @@ pub use cqi_drc as drc;
 pub use cqi_eval as eval;
 pub use cqi_fuzz as fuzz;
 pub use cqi_instance as instance;
+pub use cqi_obs as obs;
 pub use cqi_runtime as runtime;
 pub use cqi_schema as schema;
 pub use cqi_sql as sql;
