@@ -1,0 +1,589 @@
+//! `cqi-lint`: the project's source-hygiene rules, enforced as a CI gate.
+//! Dependency-free: rules run over the [`crate::lex`] masked source, so
+//! comments and string literals can neither trigger nor hide a finding.
+//!
+//! Rules (short names are what `lint:allow(<rule>)` waives):
+//!
+//! | rule | requirement |
+//! |---|---|
+//! | `unsafe-safety` | every `unsafe` keyword has a `SAFETY:` comment in the comment block directly above it |
+//! | `unsafe-allowlist` | `unsafe` appears only in files the config allowlists |
+//! | `allow-justify` | every `#[allow(...)]`/`#![allow(...)]` has an adjacent comment saying why |
+//! | `wall-clock` | `Instant::now`/`SystemTime::now` only in observability/bench code |
+//! | `println` | no `println!`/`print!` in library code (bins, tests, benches excluded) |
+//! | `unwrap` | non-poisoning `.unwrap()` in library code stays within the per-file ratchet budget |
+//! | `relaxed` | `Ordering::Relaxed` only in designated counter modules |
+//!
+//! A waiver is a comment containing `lint:allow(<rule>)` on the flagged
+//! line or the line directly above — deliberately noisy in review, like
+//! the justification comments the rules demand.
+//!
+//! The `unwrap` rule exempts the *poisoning idiom*: `.unwrap()` directly
+//! on a result whose only error is propagated poisoning/disconnection
+//! (`lock()`, `join()`, `wait()`, …), where unwrapping is the documented
+//! std pattern. Everything else counts against the file's budget; budgets
+//! may only shrink over time (a ratchet), and a file with no entry has
+//! budget zero.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::lex::{mask, Masked};
+
+/// One rule violation at a file location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Short rule name (waivable via `lint:allow(<rule>)`).
+    pub rule: &'static str,
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The repo's lint policy. [`LintConfig::repo_policy`] is the checked-in
+/// source of truth; tests build narrower configs for fixtures.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Files allowed to contain `unsafe` (each occurrence still needs its
+    /// `SAFETY:` comment).
+    pub unsafe_files: Vec<String>,
+    /// Path prefixes where wall-clock reads are legitimate (the
+    /// observability layer, benches).
+    pub wall_clock_prefixes: Vec<String>,
+    /// Files (designated counter/stats modules) allowed to use
+    /// `Ordering::Relaxed`.
+    pub relaxed_files: Vec<String>,
+    /// Path prefixes whose *product* is stdout (report harnesses); the
+    /// `println` rule does not apply there.
+    pub println_prefixes: Vec<String>,
+    /// Per-file budgets for non-poisoning `.unwrap()` in library code.
+    /// The ratchet: entries may be lowered or removed as files are
+    /// cleaned up, never raised without review.
+    pub unwrap_budgets: BTreeMap<String, usize>,
+}
+
+impl LintConfig {
+    /// An empty policy: everything restricted, no budgets. Fixture tests
+    /// start here.
+    pub fn strict() -> LintConfig {
+        LintConfig {
+            unsafe_files: Vec::new(),
+            wall_clock_prefixes: Vec::new(),
+            relaxed_files: Vec::new(),
+            println_prefixes: Vec::new(),
+            unwrap_budgets: BTreeMap::new(),
+        }
+    }
+
+    /// The policy this repository is held to.
+    pub fn repo_policy() -> LintConfig {
+        LintConfig {
+            // The resident pool's context-slot handoff is the project's
+            // only unsafe code; everything else is `#![deny(unsafe_code)]`.
+            unsafe_files: vec!["crates/runtime/src/pool.rs".into()],
+            wall_clock_prefixes: vec![
+                // The observability layer is *for* timing.
+                "crates/obs/".into(),
+                // The evaluation harness measures wall time by design.
+                "benches/".into(),
+                "crates/bench/".into(),
+                "crates/cli/src/bin/".into(),
+                // cqi-mcheck times its own model-check run for the report.
+                "crates/analysis/src/bin/".into(),
+            ],
+            relaxed_files: vec![
+                // The designated stats-counter zone (`counter::Counter`).
+                "crates/runtime/src/sync.rs".into(),
+                // Metrics/trace counters: monotonic, observation-only.
+                "crates/obs/src/metrics.rs".into(),
+                "crates/obs/src/trace.rs".into(),
+                // The chase's cooperative cancellation flag: a benign
+                // monotonic bool (set-once, polled), documented in place.
+                "crates/core/src/config.rs".into(),
+            ],
+            println_prefixes: vec![
+                // The paper-evaluation harness's product is its stdout
+                // report tables.
+                "crates/bench/src/".into(),
+            ],
+            // The ratchet: pre-existing `.unwrap()` debt, frozen at its
+            // current size. Shrink entries as files are cleaned up; never
+            // grow one without review.
+            unwrap_budgets: [
+                ("crates/bench/src/casestudy.rs", 2),
+                ("crates/bench/src/userstudy.rs", 6),
+                ("crates/core/src/treesat.rs", 2),
+                ("crates/drc/src/lexer.rs", 3),
+                ("crates/fuzz/src/shrink.rs", 2),
+                ("crates/fuzz/src/spec.rs", 9),
+                ("crates/solver/src/strings.rs", 1),
+            ]
+            .into_iter()
+            .map(|(p, n)| (p.to_string(), n))
+            .collect(),
+        }
+    }
+}
+
+/// Methods whose `Result`'s only failure mode is poisoning or peer
+/// disconnection: `.unwrap()` directly on them is the std-documented
+/// idiom, not error-handling debt.
+const POISON_IDIOM: &[&str] = &[
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "join",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "into_inner",
+    "send",
+    "recv",
+];
+
+fn norm(path: &str) -> String {
+    path.replace('\\', "/")
+}
+
+/// Test-only code: integration test trees and bench/example dirs.
+fn is_test_path(p: &str) -> bool {
+    p.starts_with("tests/") || p.contains("/tests/") || p.ends_with("build.rs")
+}
+
+fn is_bench_path(p: &str) -> bool {
+    p.starts_with("benches/")
+        || p.contains("/benches/")
+        || p.starts_with("examples/")
+        || p.contains("/examples/")
+}
+
+fn is_bin_path(p: &str) -> bool {
+    p.contains("/src/bin/") || p.ends_with("src/main.rs")
+}
+
+/// Lines covered by `#[cfg(test)]` (or `#[cfg(all(test, ...))]`) items:
+/// the attribute's line through its item's closing brace. Works on masked
+/// code, so braces inside strings can't derail the matching.
+fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let lines: Vec<&str> = code.lines().collect();
+    let mut regions = Vec::new();
+    let mut offset = 0usize; // char offset of current line start
+    let offsets: Vec<usize> = lines
+        .iter()
+        .map(|l| {
+            let o = offset;
+            offset += l.chars().count() + 1;
+            o
+        })
+        .collect();
+    let chars: Vec<char> = code.chars().collect();
+    for (idx, l) in lines.iter().enumerate() {
+        let t = l.trim_start();
+        if !(t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test")) {
+            continue;
+        }
+        // Find the item's opening brace from the end of this line, then
+        // its match.
+        let mut i = offsets[idx];
+        while i < chars.len() && chars[i] != '{' {
+            i += 1;
+        }
+        let mut depth = 0i32;
+        let mut end = chars.len();
+        while i < chars.len() {
+            match chars[i] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let end_line = chars[..end.min(chars.len())]
+            .iter()
+            .filter(|&&c| c == '\n')
+            .count()
+            + 1;
+        regions.push((idx + 1, end_line));
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Is `rule` waived at `line` (a `lint:allow(<rule>)` comment there or on
+/// the line above)?
+fn waived(masked: &Masked, line: usize, rule: &str) -> bool {
+    let tag = format!("lint:allow({rule})");
+    [line.wrapping_sub(1), line]
+        .iter()
+        .any(|&l| masked.comment_on(l).is_some_and(|t| t.contains(&tag)))
+}
+
+/// Word-boundary occurrences of `needle` in `hay` (both sides non-ident).
+fn word_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let h: Vec<char> = hay.chars().collect();
+    let n: Vec<char> = needle.chars().collect();
+    let mut out = Vec::new();
+    if n.is_empty() || h.len() < n.len() {
+        return out;
+    }
+    for i in 0..=h.len() - n.len() {
+        if h[i..i + n.len()] == n[..]
+            && (i == 0 || !ident_char(h[i - 1]))
+            && (i + n.len() == h.len() || !ident_char(h[i + n.len()]))
+        {
+            out.push(i);
+        }
+    }
+    out
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Runs every rule over one file. `path` must be repo-relative.
+pub fn lint_source(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let path = norm(path);
+    let masked = mask(src);
+    let regions = test_regions(&masked.code);
+    let mut findings = Vec::new();
+
+    let lib_code = !is_test_path(&path) && !is_bench_path(&path) && !is_bin_path(&path);
+    let lines: Vec<&str> = masked.code.lines().collect();
+
+    let mut unwrap_count = 0usize;
+    let mut first_unwrap_line = 0usize;
+
+    for (idx, line_text) in lines.iter().enumerate() {
+        let line = idx + 1;
+        let in_test = in_regions(&regions, line);
+
+        // unsafe-safety / unsafe-allowlist: apply everywhere, tests
+        // included — unsafe is never exempt from explanation.
+        for _pos in word_positions(line_text, "unsafe") {
+            if !cfg.unsafe_files.contains(&path) {
+                findings.push(Finding {
+                    rule: "unsafe-allowlist",
+                    path: path.clone(),
+                    line,
+                    message: "`unsafe` outside the allowlisted files; add the file to the \
+                              policy (with review) or remove the unsafe code"
+                        .into(),
+                });
+            }
+            // Accept `SAFETY:` anywhere in the contiguous comment block
+            // directly above the unsafe line (long justifications span
+            // many lines), or on the line itself.
+            let mut documented = masked
+                .comment_on(line)
+                .is_some_and(|t| t.contains("SAFETY:"));
+            let mut l = line - 1;
+            while !documented && l > 0 {
+                match masked.comment_on(l) {
+                    Some(t) => documented = t.contains("SAFETY:"),
+                    None => break,
+                }
+                l -= 1;
+            }
+            if !documented {
+                findings.push(Finding {
+                    rule: "unsafe-safety",
+                    path: path.clone(),
+                    line,
+                    message: "`unsafe` without a `// SAFETY:` comment in the comment block \
+                              directly above"
+                        .into(),
+                });
+            }
+        }
+
+        // allow-justify: outside tests; an adjacent comment must say why.
+        let t = line_text.trim_start();
+        if !in_test
+            && (t.starts_with("#[allow(") || t.starts_with("#![allow("))
+            && !waived(&masked, line, "allow-justify")
+        {
+            let justified = (line.saturating_sub(2)..=line)
+                .any(|l| masked.comment_on(l).is_some_and(|c| !c.is_empty()));
+            if !justified {
+                findings.push(Finding {
+                    rule: "allow-justify",
+                    path: path.clone(),
+                    line,
+                    message: "#[allow(...)] without an adjacent comment justifying it".into(),
+                });
+            }
+        }
+
+        // wall-clock: only the observability layer and benches may read
+        // clocks; everything else must take timings through `cqi-obs`.
+        if !in_test
+            && !is_test_path(&path)
+            && (line_text.contains("Instant::now") || line_text.contains("SystemTime::now"))
+            && !cfg.wall_clock_prefixes.iter().any(|p| path.starts_with(p))
+            && !waived(&masked, line, "wall-clock")
+        {
+            findings.push(Finding {
+                rule: "wall-clock",
+                path: path.clone(),
+                line,
+                message: "wall-clock read outside the observability layer; route timing \
+                          through `cqi-obs` (or waive with a reason)"
+                    .into(),
+            });
+        }
+
+        // println: library code must not write to stdout.
+        if lib_code
+            && !in_test
+            && (!word_positions(line_text, "println").is_empty()
+                || !word_positions(line_text, "print").is_empty())
+            && !cfg.println_prefixes.iter().any(|p| path.starts_with(p))
+            && !waived(&masked, line, "println")
+        {
+            findings.push(Finding {
+                rule: "println",
+                path: path.clone(),
+                line,
+                message: "print to stdout in library code; return data or use the \
+                          observability layer"
+                    .into(),
+            });
+        }
+
+        // relaxed: `Ordering::Relaxed` only in designated counter modules.
+        if !in_test
+            && !is_test_path(&path)
+            && line_text.contains("Ordering::Relaxed")
+            && !cfg.relaxed_files.contains(&path)
+            && !waived(&masked, line, "relaxed")
+        {
+            findings.push(Finding {
+                rule: "relaxed",
+                path: path.clone(),
+                line,
+                message: "`Ordering::Relaxed` outside the designated counter modules; \
+                          use the `cqi_runtime::sync` primitives or justify a waiver"
+                    .into(),
+            });
+        }
+
+        // unwrap: count non-idiomatic unwraps in library code.
+        if lib_code && !in_test && !waived(&masked, line, "unwrap") {
+            for pos in find_all(line_text, ".unwrap()") {
+                if !poison_idiom_receiver(&lines, idx, pos) {
+                    unwrap_count += 1;
+                    if first_unwrap_line == 0 {
+                        first_unwrap_line = line;
+                    }
+                }
+            }
+        }
+    }
+
+    let budget = cfg.unwrap_budgets.get(&path).copied().unwrap_or(0);
+    if unwrap_count > budget {
+        findings.push(Finding {
+            rule: "unwrap",
+            path: path.clone(),
+            line: first_unwrap_line,
+            message: format!(
+                "{unwrap_count} non-poisoning `.unwrap()` in library code exceeds this \
+                 file's ratchet budget of {budget}; handle the error, use `expect` with \
+                 an invariant message tracked in the budget, or shrink the count"
+            ),
+        });
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(needle) {
+        out.push(start + p);
+        start += p + needle.len();
+    }
+    out
+}
+
+/// Is the `.unwrap()` at byte `pos` of line `idx` applied directly to a
+/// poisoning-idiom method call (`lock().unwrap()`, `join().unwrap()`, …)?
+/// Walks backwards over the receiver call, continuing onto earlier lines
+/// for multi-line chains.
+fn poison_idiom_receiver(lines: &[&str], idx: usize, pos: usize) -> bool {
+    // Assemble the text preceding the unwrap: this line up to `pos`, with
+    // up to 3 prior lines prepended for wrapped call chains.
+    let mut text = String::new();
+    for prior in lines[idx.saturating_sub(3)..idx].iter() {
+        text.push_str(prior.trim_end());
+    }
+    text.push_str(&lines[idx][..pos]);
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = chars.len();
+    // Skip trailing whitespace.
+    while i > 0 && chars[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    // Expect the receiver to be a call: `ident ( ... )`.
+    if i == 0 || chars[i - 1] != ')' {
+        return false;
+    }
+    let mut depth = 0i32;
+    while i > 0 {
+        i -= 1;
+        match chars[i] {
+            ')' => depth += 1,
+            '(' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return false;
+    }
+    let end = i;
+    while i > 0 && ident_char(chars[i - 1]) {
+        i -= 1;
+    }
+    let name: String = chars[i..end].iter().collect();
+    POISON_IDIOM.contains(&name.as_str())
+}
+
+/// Recursively collects the repo-relative paths of every `.rs` file under
+/// `root`, skipping build output, VCS internals, and lint fixtures (which
+/// contain deliberate violations).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                // `vendor/` holds checker/bench infrastructure with its
+                // own conventions (and its own test suites); `fixtures/`
+                // holds deliberate rule violations for the lint tests.
+                if matches!(
+                    name.as_ref(),
+                    "target" | ".git" | "fixtures" | "vendor" | "node_modules"
+                ) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every workspace file under `root`; returns `(files_scanned,
+/// findings)`.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<(usize, Vec<Finding>)> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(lint_source(rel, &src, cfg));
+    }
+    Ok((files.len(), findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_idiom_is_exempt_but_plain_unwrap_counts() {
+        let src = "fn f() {\n\
+                   let g = m.lock().unwrap();\n\
+                   let v = opt.unwrap();\n\
+                   }\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &LintConfig::strict());
+        let unwraps: Vec<_> = out.iter().filter(|f| f.rule == "unwrap").collect();
+        assert_eq!(unwraps.len(), 1, "{out:?}");
+        assert!(unwraps[0].message.contains("1 non-poisoning"));
+    }
+
+    #[test]
+    fn multi_line_lock_chain_is_exempt() {
+        let src = "fn f() {\n\
+                   let g = m\n\
+                   .lock()\n\
+                   .unwrap();\n\
+                   }\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &LintConfig::strict());
+        assert!(out.iter().all(|f| f.rule != "unwrap"), "{out:?}");
+    }
+
+    #[test]
+    fn budget_ratchet_allows_exactly_the_budget() {
+        let src = "fn f() { a.unwrap(); b.unwrap(); }\n";
+        let mut cfg = LintConfig::strict();
+        cfg.unwrap_budgets.insert("crates/x/src/lib.rs".into(), 2);
+        assert!(lint_source("crates/x/src/lib.rs", src, &cfg).is_empty());
+        cfg.unwrap_budgets.insert("crates/x/src/lib.rs".into(), 1);
+        assert_eq!(lint_source("crates/x/src/lib.rs", src, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped_for_hygiene_rules() {
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { println!(\"x\"); v.unwrap(); }\n\
+                   }\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &LintConfig::strict());
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses_exactly_one_rule() {
+        let src = "// lint:allow(wall-clock) timing the solver is this bench's job\n\
+                   let t = Instant::now();\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &LintConfig::strict());
+        assert!(out.is_empty(), "{out:?}");
+        let src2 = "let t = Instant::now();\n";
+        let out2 = lint_source("crates/x/src/lib.rs", src2, &LintConfig::strict());
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].rule, "wall-clock");
+    }
+}

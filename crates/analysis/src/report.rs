@@ -1,0 +1,184 @@
+//! Minimal JSON emission for `ANALYSIS_report.json` — dependency-free by
+//! design (this workspace vendors no serde). Only what the two analysis
+//! bins need: escaped scalars, objects/arrays built as strings, and a
+//! string-aware top-level section merge so `cqi-lint` and `cqi-mcheck` can
+//! each own one section of the same report file.
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `[e1,e2,...]` from pre-rendered JSON values.
+pub fn json_arr<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// `{"k1":v1,...}` from pre-rendered JSON values.
+pub fn json_obj<'a, I: IntoIterator<Item = (&'a str, String)>>(fields: I) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(k));
+        out.push(':');
+        out.push_str(&v);
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a top-level JSON object (as emitted by this module: an object
+/// whose values are objects/arrays/scalars) into `(key, raw value)` pairs.
+/// String-aware: braces and commas inside string literals do not count.
+/// Returns `None` when `text` is not a braced object.
+fn split_top_level(text: &str) -> Option<Vec<(String, String)>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut pairs = Vec::new();
+    let mut chars = body.chars().peekable();
+    // Scan `"key" : value` items separated by top-level commas.
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() || c == ',' {
+            chars.next();
+            continue;
+        }
+        if c != '"' {
+            return None;
+        }
+        chars.next();
+        let mut key = String::new();
+        let mut escaped = false;
+        for c in chars.by_ref() {
+            if escaped {
+                escaped = false;
+                key.push(c);
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                break;
+            } else {
+                key.push(c);
+            }
+        }
+        // Skip to the colon.
+        for c in chars.by_ref() {
+            if c == ':' {
+                break;
+            } else if !c.is_whitespace() {
+                return None;
+            }
+        }
+        // Consume the value: balanced braces/brackets outside strings, up
+        // to a top-level comma or the end.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        let mut value = String::new();
+        for c in chars.by_ref() {
+            if in_str {
+                value.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_str = true;
+                    value.push(c);
+                }
+                '{' | '[' => {
+                    depth += 1;
+                    value.push(c);
+                }
+                '}' | ']' => {
+                    depth -= 1;
+                    value.push(c);
+                }
+                ',' if depth == 0 => break,
+                c => value.push(c),
+            }
+        }
+        pairs.push((key, value.trim().to_string()));
+    }
+    Some(pairs)
+}
+
+/// Reads the report at `path` (if any), replaces-or-appends the `section`
+/// key with `value` (a pre-rendered JSON value), and writes it back. A
+/// missing or unparseable file is overwritten with just this section.
+pub fn merge_section(path: &std::path::Path, section: &str, value: String) -> std::io::Result<()> {
+    let mut pairs = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| split_top_level(&text))
+        .unwrap_or_default();
+    match pairs.iter_mut().find(|(k, _)| k == section) {
+        Some(p) => p.1 = value,
+        None => pairs.push((section.to_string(), value)),
+    }
+    let obj = json_obj(pairs.iter().map(|(k, v)| (k.as_str(), v.clone())));
+    std::fs::write(path, obj + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn split_handles_braces_inside_strings() {
+        let text = r#"{"lint":{"msg":"if { x } , [y]"},"mc":[1,2]}"#;
+        let pairs = split_top_level(text).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "lint");
+        assert_eq!(pairs[0].1, r#"{"msg":"if { x } , [y]"}"#);
+        assert_eq!(pairs[1].1, "[1,2]");
+    }
+
+    #[test]
+    fn merge_replaces_and_appends() {
+        let dir = std::env::temp_dir().join(format!("cqi_report_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        merge_section(&path, "lint", "{\"findings\":[]}".into()).unwrap();
+        merge_section(&path, "model_check", "{\"passed\":true}".into()).unwrap();
+        merge_section(&path, "lint", "{\"findings\":[1]}".into()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let pairs = split_top_level(&text).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], ("lint".into(), "{\"findings\":[1]}".into()));
+        assert_eq!(pairs[1], ("model_check".into(), "{\"passed\":true}".into()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

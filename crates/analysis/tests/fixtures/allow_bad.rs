@@ -1,0 +1,12 @@
+pub struct Config {
+    pub retries: u32,
+}
+
+#[allow(clippy::needless_range_loop)]
+pub fn sum(xs: &[u32]) -> u32 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+    }
+    total
+}

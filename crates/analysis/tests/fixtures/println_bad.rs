@@ -1,0 +1,3 @@
+pub fn report(n: usize) {
+    println!("processed {n} rows");
+}

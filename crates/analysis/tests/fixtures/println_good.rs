@@ -1,0 +1,6 @@
+// A "println" in a comment and in a string must not trigger the rule;
+// neither must eprintln (stderr is fine for diagnostics).
+pub fn report(n: usize) -> String {
+    eprintln!("processed {n} rows");
+    format!("the word println appears only in this string: {n}")
+}

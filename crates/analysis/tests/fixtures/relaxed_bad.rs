@@ -1,0 +1,5 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Relaxed);
+}

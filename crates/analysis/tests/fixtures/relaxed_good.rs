@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn count(hits: &AtomicUsize) {
+    hits.fetch_add(1, Ordering::AcqRel);
+    let _ = hits.load(Ordering::Acquire);
+}

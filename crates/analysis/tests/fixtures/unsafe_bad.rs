@@ -1,0 +1,7 @@
+// Fixture: `unsafe` with no SAFETY comment anywhere above it, in a file
+// that is not on the unsafe allowlist. Must trigger BOTH unsafe rules.
+pub fn read_first(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+// Fixture: allowlisted file whose `unsafe` carries a SAFETY block. The
+// SAFETY marker sits several lines up inside a contiguous comment block,
+// which the rule must accept.
+pub fn read_first(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    // SAFETY: `v` is a non-empty slice (checked by every caller), so `p`
+    // points at least one readable byte; the read is within the slice's
+    // allocation and the slice borrow keeps it alive for the duration.
+    // No aliasing hazard: we only read.
+    unsafe { *p }
+}

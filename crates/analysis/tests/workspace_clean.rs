@@ -1,0 +1,38 @@
+//! The lint gate, embedded in `cargo test`: the whole repository must be
+//! clean under [`LintConfig::repo_policy`]. A failure here prints the
+//! exact findings, same as the `cqi-lint` binary would.
+
+use cqi_analysis::lint::{lint_workspace, LintConfig};
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/analysis/ -> workspace root is two levels up.
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn repository_is_lint_clean_under_repo_policy() {
+    let root = repo_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "not a workspace root: {}",
+        root.display()
+    );
+    let (files, findings) =
+        lint_workspace(&root, &LintConfig::repo_policy()).expect("workspace scan");
+    assert!(
+        files > 50,
+        "scan looks truncated: only {files} files — walker broken?"
+    );
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "cqi-lint found {} violations:\n{}",
+        findings.len(),
+        rendered.join("\n")
+    );
+}

@@ -151,6 +151,8 @@ pub fn generate_database_with_stats(
     (db, stats)
 }
 
+// The index is the relation id being placed; iterating `placed` by value
+// would lose the id <-> position correspondence the two arrays share.
 #[allow(clippy::needless_range_loop)]
 fn topo_order(schema: &Arc<Schema>) -> Vec<RelId> {
     let n = schema.relations().len();

@@ -12,6 +12,8 @@
 //! * [`generator`] — a schema-driven random database generator (the "randomly
 //!   generated testing database instance" RATest is run on).
 
+#![deny(unsafe_code)]
+
 pub mod cosette;
 pub mod generator;
 pub mod ratest;

@@ -20,6 +20,8 @@
 //! Timeouts and limits default to laptop-friendly values and can be raised
 //! to the paper's 600 s/1200 s with `--timeout`.
 
+#![deny(unsafe_code)]
+
 pub mod casestudy;
 pub mod harness;
 pub mod userstudy;

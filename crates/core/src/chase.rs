@@ -31,7 +31,6 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -681,6 +680,7 @@ impl<'a> Chase<'a> {
         universal_fresh: bool,
         caches: &mut ChaseCaches,
     ) -> Chase<'a> {
+        // lint:allow(wall-clock) per-drive elapsed time feeds `ChaseStats`, not control flow
         let start = Instant::now();
         let threads = cfg.resolved_threads().max(1);
         let params = CacheParams {
@@ -850,13 +850,14 @@ impl<'a> Chase<'a> {
     }
 
     fn deadline_passed(&self) -> bool {
+        // lint:allow(wall-clock) deadline enforcement needs a real clock
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     fn cancel_fired(&self) -> bool {
         self.cancel
             .as_ref()
-            .is_some_and(|t| t.flag().load(Ordering::Relaxed))
+            .is_some_and(CancelToken::is_cancelled)
     }
 
     fn collect_ctx_flags(&mut self) {
@@ -907,7 +908,7 @@ impl<'a> Chase<'a> {
             cfg: self.cfg,
             universal_fresh: self.universal_fresh,
             deadline: self.deadline,
-            cancel: self.cancel.as_ref().map(|t| t.flag()),
+            cancel: self.cancel.as_ref(),
             formula,
             h0: &h0,
             query_key: self.query_key,
@@ -1005,13 +1006,14 @@ impl<'a> Chase<'a> {
         let per_job: Vec<(Vec<(CInstance, Duration)>, DriveStats)> =
             exec.run(&mut self.ctxs, &jobs, |ctx, _, job| {
                 let _job_span = trace::span("root_job", "chase");
+                // lint:allow(wall-clock) deadline enforcement needs a real clock
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     ctx.timed_out = true;
                     return (Vec::new(), DriveStats::default());
                 }
                 if cancel
                     .as_ref()
-                    .is_some_and(|t| t.flag().load(Ordering::Relaxed))
+                    .is_some_and(CancelToken::is_cancelled)
                 {
                     ctx.cancelled = true;
                     return (Vec::new(), DriveStats::default());
@@ -1023,7 +1025,7 @@ impl<'a> Chase<'a> {
                     cfg,
                     universal_fresh,
                     deadline,
-                    cancel: cancel.as_ref().map(|t| t.flag()),
+                    cancel: cancel.as_ref(),
                     formula: job.formula,
                     h0: &h0,
                     query_key,
@@ -1101,7 +1103,7 @@ struct RootTask<'t> {
     cfg: &'t ChaseConfig,
     universal_fresh: bool,
     deadline: Option<Instant>,
-    cancel: Option<&'t AtomicBool>,
+    cancel: Option<&'t CancelToken>,
     formula: &'t Formula,
     h0: &'t Hom,
     query_key: u64,
@@ -1130,11 +1132,12 @@ impl FrontierTask for RootTask<'_> {
     }
 
     fn stopped(&self, ctx: &mut WorkerCtx) -> bool {
+        // lint:allow(wall-clock) deadline enforcement needs a real clock
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             ctx.timed_out = true;
             return true;
         }
-        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
             ctx.cancelled = true;
             return true;
         }
@@ -1184,7 +1187,7 @@ struct Engine<'e> {
     cfg: &'e ChaseConfig,
     universal_fresh: bool,
     deadline: Option<Instant>,
-    cancel: Option<&'e AtomicBool>,
+    cancel: Option<&'e CancelToken>,
     query_key: u64,
     /// Thread source for nested-BFS wave fan-out (resident pools only —
     /// scoped handles report width 1 and keep the recursion sequential).
@@ -1195,12 +1198,13 @@ struct Engine<'e> {
 impl Engine<'_> {
     fn stopped(&mut self) -> bool {
         if let Some(d) = self.deadline {
+            // lint:allow(wall-clock) deadline enforcement needs a real clock
             if Instant::now() >= d {
                 self.ctx.timed_out = true;
                 return true;
             }
         }
-        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
             self.ctx.cancelled = true;
             return true;
         }

@@ -30,11 +30,6 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Relaxed)
     }
-
-    /// The raw flag, for the chase's polling loop.
-    pub(crate) fn flag(&self) -> &AtomicBool {
-        &self.0
-    }
 }
 
 /// The algorithm variants compared throughout the paper's evaluation.

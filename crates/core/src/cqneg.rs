@@ -26,6 +26,7 @@ pub fn cq_neg_universal_solution(tree: &SyntaxTree, enforce_keys: bool) -> Optio
     if !q.is_cq_neg() {
         return None;
     }
+    // lint:allow(wall-clock) the fast path reports its own elapsed time in `CqNegStats`
     let start = Instant::now();
     let mut inst = CInstance::new(q.schema.clone());
     let mut h: Hom = vec![None; q.vars.len()];

@@ -40,6 +40,8 @@
 //! assert!(!sol.instances.is_empty());
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod chase;
 pub mod config;
 pub mod conjtree;

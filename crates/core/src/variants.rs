@@ -244,6 +244,7 @@ pub fn run_variant_deepening(
     step: usize,
 ) -> (CSolution, usize) {
     let budget = base.timeout.unwrap_or(std::time::Duration::from_secs(10));
+    // lint:allow(wall-clock) limit-doubling spends a wall-clock budget by design
     let start = std::time::Instant::now();
     let mut limit = start_limit;
     let mut best: Option<(CSolution, usize)> = None;

@@ -12,6 +12,8 @@
 //! Each entry records the paper's published complexity metrics alongside,
 //! so the Table 1 reproduction can report paper-vs-ours side by side.
 
+#![deny(unsafe_code)]
+
 pub mod beers;
 pub mod stats;
 pub mod tpch;

@@ -17,6 +17,8 @@
 //!
 //! `*` inside a relational atom is a don't-care term (Table 5's `∗`).
 
+#![deny(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod metrics;

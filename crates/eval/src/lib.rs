@@ -12,6 +12,8 @@
 //! sample possible worlds of returned c-instances and re-evaluate queries
 //! here.
 
+#![deny(unsafe_code)]
+
 pub mod coverage;
 pub mod eval;
 

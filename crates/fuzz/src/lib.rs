@@ -23,6 +23,8 @@
 //! shrinks real soundness bugs (`cargo run -p cqi-fuzz -- --mutate
 //! negate-cmp`).
 
+#![deny(unsafe_code)]
+
 pub mod driver;
 pub mod gen;
 pub mod oracle;

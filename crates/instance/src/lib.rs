@@ -18,6 +18,8 @@
 //! * Serde-free JSON rendering ([`CInstance::to_json`]) for service
 //!   responses from the streaming explanation API.
 
+#![deny(unsafe_code)]
+
 pub mod cinstance;
 pub mod consistency;
 pub mod display;

@@ -27,6 +27,8 @@
 //! [`metrics::Registry::render_json`] the same registry as JSON, and
 //! [`trace::end_capture`] a Chrome `traceEvents` JSON document.
 
+#![deny(unsafe_code)]
+
 pub mod metrics;
 pub mod trace;
 

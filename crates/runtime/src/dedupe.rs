@@ -26,10 +26,11 @@
 //! interleaving.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use cqi_obs::trace::{self, Phase};
+
+use crate::sync::counter::Counter;
+use crate::sync::Mutex;
 
 /// The two-level key of the dedupe set: a renaming-invariant `signature`
 /// (equal for all members of an isomorphism class — the shard/bucket key)
@@ -76,9 +77,9 @@ type Shard<T> = Mutex<HashMap<u64, Vec<Entry<T>>>>;
 pub struct ShardedDedupe<T> {
     shards: Box<[Shard<T>]>,
     mask: usize,
-    offers: AtomicU64,
-    duplicates: AtomicU64,
-    iso_checks: AtomicU64,
+    offers: Counter,
+    duplicates: Counter,
+    iso_checks: Counter,
 }
 
 impl<T: Clone> ShardedDedupe<T> {
@@ -89,9 +90,9 @@ impl<T: Clone> ShardedDedupe<T> {
         ShardedDedupe {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             mask: n - 1,
-            offers: AtomicU64::new(0),
-            duplicates: AtomicU64::new(0),
-            iso_checks: AtomicU64::new(0),
+            offers: Counter::new(),
+            duplicates: Counter::new(),
+            iso_checks: Counter::new(),
         }
     }
 
@@ -110,7 +111,7 @@ impl<T: Clone> ShardedDedupe<T> {
         if e.digest == digest {
             return true;
         }
-        self.iso_checks.fetch_add(1, Ordering::Relaxed);
+        self.iso_checks.inc();
         iso(&e.item, item)
     }
 
@@ -124,13 +125,13 @@ impl<T: Clone> ShardedDedupe<T> {
         iso: &F,
     ) -> Offer {
         let _s = trace::span_phase("dedupe_offer", "dedupe", Phase::Dedupe);
-        self.offers.fetch_add(1, Ordering::Relaxed);
+        self.offers.inc();
         let mut map = self.shard(key.signature).lock().unwrap();
         let bucket = map.entry(key.signature).or_default();
         for e in bucket.iter_mut() {
             if self.matches(e, key.digest, item, iso) {
                 if e.seq <= seq {
-                    self.duplicates.fetch_add(1, Ordering::Relaxed);
+                    self.duplicates.inc();
                     return Offer::Duplicate;
                 }
                 // Displace the later-sequence representative; it will fail
@@ -187,9 +188,9 @@ impl<T: Clone> ShardedDedupe<T> {
 
     pub fn stats(&self) -> DedupeStats {
         DedupeStats {
-            offers: self.offers.load(Ordering::Relaxed),
-            duplicates: self.duplicates.load(Ordering::Relaxed),
-            iso_checks: self.iso_checks.load(Ordering::Relaxed),
+            offers: self.offers.get(),
+            duplicates: self.duplicates.get(),
+            iso_checks: self.iso_checks.get(),
         }
     }
 }
@@ -286,7 +287,7 @@ mod tests {
         // the interleaving, the minimum sequence must be the survivor.
         let set: ShardedDedupe<Item> = ShardedDedupe::new(8);
         let n = 64u64;
-        std::thread::scope(|s| {
+        crate::sync::thread::scope(|s| {
             for t in 0..4u64 {
                 let set = &set;
                 s.spawn(move || {

@@ -32,10 +32,13 @@
 //! `parallel_props.rs` for the property suites asserting sequential ≡
 //! parallel.
 
+#![deny(unsafe_code)]
+
 pub mod dedupe;
 pub mod memo;
 pub mod pool;
 pub mod scheduler;
+pub mod sync;
 
 pub use dedupe::{DedupeStats, Offer, SetKey, ShardedDedupe};
 pub use memo::{MemoCounts, MemoStats, StripedMemo};

@@ -19,18 +19,20 @@
 //! the number the striping exists to keep near zero.
 
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::hash::{BuildHasher, Hash};
+
+use crate::sync::counter::Counter;
+use crate::sync::hash::RandomState;
+use crate::sync::{Mutex, MutexGuard, TryLockError};
 
 /// Atomic counters of one [`StripedMemo`].
 #[derive(Debug, Default)]
 pub struct MemoStats {
-    pub hits: AtomicU64,
-    pub misses: AtomicU64,
-    pub inserts: AtomicU64,
+    pub hits: Counter,
+    pub misses: Counter,
+    pub inserts: Counter,
     /// Lock acquisitions that found the stripe already held.
-    pub contended: AtomicU64,
+    pub contended: Counter,
 }
 
 /// A point-in-time copy of [`MemoStats`].
@@ -45,10 +47,10 @@ pub struct MemoCounts {
 impl MemoStats {
     pub fn snapshot(&self) -> MemoCounts {
         MemoCounts {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            contended: self.contended.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
+            contended: self.contended.get(),
         }
     }
 }
@@ -89,11 +91,11 @@ impl<K: Hash + Eq, V: Clone> StripedMemo<K, V> {
     fn lock<'a>(&'a self, m: &'a Mutex<HashMap<K, V>>) -> MutexGuard<'a, HashMap<K, V>> {
         match m.try_lock() {
             Ok(g) => g,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                self.stats.contended.fetch_add(1, Ordering::Relaxed);
+            Err(TryLockError::WouldBlock) => {
+                self.stats.contended.inc();
                 m.lock().unwrap()
             }
-            Err(std::sync::TryLockError::Poisoned(e)) => panic!("poisoned memo stripe: {e}"),
+            Err(TryLockError::Poisoned(e)) => panic!("poisoned memo stripe: {e}"),
         }
     }
 
@@ -102,8 +104,8 @@ impl<K: Hash + Eq, V: Clone> StripedMemo<K, V> {
         let _s = cqi_obs::trace::span("l2_get", "memo");
         let got = self.lock(self.stripe(key)).get(key).cloned();
         match &got {
-            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.stats.hits.inc(),
+            None => self.stats.misses.inc(),
         };
         got
     }
@@ -116,7 +118,7 @@ impl<K: Hash + Eq, V: Clone> StripedMemo<K, V> {
         let mut g = self.lock(self.stripe(&key));
         if g.len() < self.stripe_cap || g.contains_key(&key) {
             g.entry(key).or_insert(value);
-            self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+            self.stats.inserts.inc();
         }
     }
 
@@ -133,7 +135,7 @@ impl<K: Hash + Eq, V: Clone> StripedMemo<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn get_after_insert_round_trips() {
@@ -166,7 +168,7 @@ mod tests {
     fn concurrent_readers_and_writers_agree() {
         let memo: StripedMemo<u64, u64> = StripedMemo::new(16, 1 << 16);
         let seen = AtomicUsize::new(0);
-        std::thread::scope(|s| {
+        crate::sync::thread::scope(|s| {
             for t in 0..4u64 {
                 let memo = &memo;
                 let seen = &seen;

@@ -27,14 +27,51 @@
 //!   close-and-wait barrier keeps the batch's borrowed state alive until
 //!   the last entrant has left.
 
+// The crate is `#![deny(unsafe_code)]`; this module is the project's one
+// allowlisted unsafe file (see `cqi-lint`'s policy) — the context-slot
+// handoff needs raw-pointer sends, each with its own SAFETY contract.
+#![allow(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 use cqi_obs::trace::{self, Phase};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::counter::Counter;
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{Condvar, Mutex};
+
+/// Fault-injection hooks for the concurrency model checker's self-tests
+/// (`cqi-analysis`): each fault seeds a protocol bug that the checker must
+/// demonstrably find, mirroring the fuzz campaign's `--mutate` pattern.
+/// Compiled only under `model-check`; production builds have no hook.
+#[cfg(feature = "model-check")]
+pub mod fault {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// No fault (the default).
+    pub const NONE: u8 = 0;
+    /// [`super::Batch::exit`] skips the idle wakeup when the last entrant
+    /// leaves: the submitter's close-and-wait barrier then misses the
+    /// `active == 0` transition and sleeps forever — a lost wakeup the
+    /// checker reports as a deadlock.
+    pub const SKIP_IDLE_NOTIFY: u8 = 1;
+
+    static MODE: AtomicU8 = AtomicU8::new(NONE);
+
+    /// Arms a fault for the current process. Model-checker self-tests run
+    /// single-process and restore [`NONE`] when done.
+    pub fn set(mode: u8) {
+        MODE.store(mode, Ordering::SeqCst);
+    }
+
+    pub(crate) fn skips_idle_notify() -> bool {
+        MODE.load(Ordering::SeqCst) == SKIP_IDLE_NOTIFY
+    }
+}
 
 /// How many items a worker claims from its own queue per lock acquisition.
 /// Small enough to keep the tail of a wave balanced, large enough that the
@@ -66,7 +103,7 @@ fn pop_or_steal(
     queues: &[Mutex<VecDeque<Range<usize>>>],
     worker: usize,
     batch: usize,
-    steals: &AtomicU64,
+    steals: &Counter,
 ) -> Option<Range<usize>> {
     {
         let mut q = queues[worker].lock().unwrap();
@@ -86,7 +123,7 @@ fn pop_or_steal(
         let victim = (worker + off) % n;
         let mut q = queues[victim].lock().unwrap();
         if let Some(r) = q.pop_back() {
-            steals.fetch_add(1, Ordering::Relaxed);
+            steals.inc();
             if r.len() > 1 {
                 let mid = r.start + r.len() / 2;
                 q.push_back(r.start..mid);
@@ -104,7 +141,7 @@ fn drain_queues<T, C, R, F>(
     queues: &[Mutex<VecDeque<Range<usize>>>],
     worker: usize,
     batch: usize,
-    steals: &AtomicU64,
+    steals: &Counter,
     ctx: &mut C,
     items: &[T],
     f: &F,
@@ -139,11 +176,11 @@ fn assemble<R>(items: usize, tagged: Vec<(usize, R)>) -> Vec<R> {
 #[derive(Debug, Default)]
 pub struct RunCounters {
     /// Ranges taken from another worker's queue.
-    pub steals: AtomicU64,
+    pub steals: Counter,
     /// Fan-outs served by the resident pool.
-    pub resident_batches: AtomicU64,
+    pub resident_batches: Counter,
     /// Fan-outs served by scoped spawn-per-call threads.
-    pub scoped_batches: AtomicU64,
+    pub scoped_batches: Counter,
 }
 
 /// A point-in-time copy of [`RunCounters`].
@@ -157,9 +194,9 @@ pub struct RunCounts {
 impl RunCounters {
     pub fn snapshot(&self) -> RunCounts {
         RunCounts {
-            steals: self.steals.load(Ordering::Relaxed),
-            resident_batches: self.resident_batches.load(Ordering::Relaxed),
-            scoped_batches: self.scoped_batches.load(Ordering::Relaxed),
+            steals: self.steals.get(),
+            resident_batches: self.resident_batches.get(),
+            scoped_batches: self.scoped_batches.get(),
         }
     }
 }
@@ -250,32 +287,33 @@ impl<'p> Exec<'p> {
         }
         let batch = batch_size(items.len(), workers);
         let queues = seed_queues(items.len(), workers);
-        let steals = AtomicU64::new(0);
+        let steals = Counter::new();
         let tagged = match self.pool {
             Some(pool) if pool.workers() > 0 => {
                 if let Some(c) = self.counters {
-                    c.resident_batches.fetch_add(1, Ordering::Relaxed);
+                    c.resident_batches.inc();
                 }
                 let _s = trace::span("resident_batch", "pool");
                 run_resident(pool, ctxs, items, &f, workers, batch, &queues, &steals)
             }
             _ => {
                 if let Some(c) = self.counters {
-                    c.scoped_batches.fetch_add(1, Ordering::Relaxed);
+                    c.scoped_batches.inc();
                 }
                 let _s = trace::span("scoped_batch", "pool");
                 run_scoped(ctxs, items, &f, workers, batch, &queues, &steals)
             }
         };
         if let Some(c) = self.counters {
-            c.steals
-                .fetch_add(steals.load(Ordering::Relaxed), Ordering::Relaxed);
+            c.steals.add(steals.get());
         }
         assemble(items.len(), tagged)
     }
 }
 
 /// The scoped strategy: spawn workers, drain, join.
+// The two run strategies share `Exec::run`'s decomposed batch state; a
+// bundling struct would be built and torn apart at exactly one call site.
 #[allow(clippy::too_many_arguments)]
 fn run_scoped<T, C, R, F>(
     ctxs: &mut [C],
@@ -284,7 +322,7 @@ fn run_scoped<T, C, R, F>(
     workers: usize,
     batch: usize,
     queues: &[Mutex<VecDeque<Range<usize>>>],
-    steals: &AtomicU64,
+    steals: &Counter,
 ) -> Vec<(usize, R)>
 where
     T: Sync,
@@ -293,7 +331,7 @@ where
     F: Fn(&mut C, usize, &T) -> R + Sync,
 {
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = ctxs
             .iter_mut()
             .take(workers)
@@ -314,6 +352,11 @@ where
 /// ever alias a context; `C: Send` makes shipping that exclusive borrow to
 /// a pool thread sound.
 struct CtxSlots<C>(Vec<*mut C>);
+// SAFETY: sharing `CtxSlots` across threads only shares the *pointers*;
+// `run_resident` hands out each slot index at most once (unique `fetch_add`
+// ticket), so no two threads ever dereference the same `*mut C`, and
+// `C: Send` makes moving that exclusive access to another thread sound.
+// No `&C` is ever produced, so `C: Sync` is not required.
 unsafe impl<C: Send> Sync for CtxSlots<C> {}
 
 impl<C> CtxSlots<C> {
@@ -327,6 +370,7 @@ impl<C> CtxSlots<C> {
 /// The resident strategy: publish one entrant closure to the pool, drain
 /// the batch on the calling thread too, and barrier until every entrant
 /// has left.
+// Same decomposed batch state as `run_scoped`; see the note there.
 #[allow(clippy::too_many_arguments)]
 fn run_resident<T, C, R, F>(
     pool: &ResidentPool,
@@ -336,7 +380,7 @@ fn run_resident<T, C, R, F>(
     workers: usize,
     batch: usize,
     queues: &[Mutex<VecDeque<Range<usize>>>],
-    steals: &AtomicU64,
+    steals: &Counter,
 ) -> Vec<(usize, R)>
 where
     T: Sync,
@@ -348,11 +392,17 @@ where
     let next_slot = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     let work = || {
-        let s = next_slot.fetch_add(1, Ordering::Relaxed);
+        // Protocol state (each ticket must be observed exactly once), not a
+        // stats counter — hence a modeled atomic at SeqCst, not a Counter.
+        let s = next_slot.fetch_add(1, Ordering::SeqCst);
         if s >= workers {
             return;
         }
-        // Unique ticket ⇒ exclusive access to this slot's context.
+        // SAFETY: `s` came from a unique `fetch_add` ticket, so this thread
+        // is the only one that ever dereferences slot `s`, and the slots
+        // outlive every entrant: `run_batch`'s close-and-wait barrier keeps
+        // this frame (and `ctxs` behind it) alive until the last entrant
+        // has left, on the normal path and on unwind.
         let ctx: &mut C = unsafe { &mut *slots.slot(s) };
         let got = drain_queues(queues, s, batch, steals, ctx, items, f);
         if !got.is_empty() {
@@ -402,6 +452,10 @@ impl Batch {
         st.active -= 1;
         st.panicked |= panicked;
         if st.active == 0 {
+            #[cfg(feature = "model-check")]
+            if fault::skips_idle_notify() {
+                return;
+            }
             self.idle.notify_all();
         }
     }
@@ -417,6 +471,10 @@ struct BatchGuard<'a> {
 
 impl Drop for BatchGuard<'_> {
     fn drop(&mut self) {
+        // These locks may be taken while this thread is already unwinding (a
+        // panicking batch closure); like `std`, the instrumented primitives
+        // only poison when a panic *starts* inside a critical section, so
+        // plain `unwrap` here stays correct on both layers.
         let mut st = self.batch.state.lock().unwrap();
         st.closed = true;
         while st.active > 0 {
@@ -467,7 +525,7 @@ impl ResidentPool {
         let handles = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                thread::spawn(move || worker_loop(&shared))
             })
             .collect();
         ResidentPool { shared, handles }
@@ -484,8 +542,14 @@ impl ResidentPool {
     /// once, concurrently. Nested `run_batch` from inside `work` is safe
     /// (the nested submitter self-drains).
     pub fn run_batch(&self, helpers: usize, work: &(dyn Fn() + Sync)) {
-        // Erase the borrow's lifetime; BatchGuard's close-and-wait barrier
-        // (which also runs on unwind) keeps it live for every entrant.
+        // SAFETY: this transmute changes only the reference's lifetime (the
+        // pointee type is identical), which is the minimal possible scope
+        // for the cast — the erased borrow must live inside `Batch` because
+        // workers redeem tickets asynchronously. It is sound because no
+        // entrant can touch `work` outside the submitter's frame:
+        // `try_enter` fails once the batch is closed, and `BatchGuard`
+        // (dropped on the normal path and on unwind) closes the batch and
+        // blocks until `active == 0` before this frame is torn down.
         let work: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(work) };
         let batch = Arc::new(Batch {
             work,
@@ -673,13 +737,13 @@ mod tests {
         let items: Vec<usize> = (0..200).collect();
         let mut ctxs = vec![(); 3];
         exec.run(&mut ctxs, &items, |_, _, x| *x);
-        assert_eq!(counters.resident_batches.load(Ordering::Relaxed), 1);
-        assert_eq!(counters.scoped_batches.load(Ordering::Relaxed), 0);
+        assert_eq!(counters.resident_batches.get(), 1);
+        assert_eq!(counters.scoped_batches.get(), 0);
         // Scoped handle counts on the other ledger.
         let scoped = Exec::scoped().with_counters(&counters);
         let mut ctxs2 = vec![(); 2];
         scoped.run(&mut ctxs2, &items, |_, _, x| *x);
-        assert_eq!(counters.scoped_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.scoped_batches.get(), 1);
     }
 
     #[test]

@@ -453,10 +453,7 @@ mod tests {
         assert_eq!(got, seq_out, "resident-pool drive must match sequential");
         assert!(stats.waves > 0);
         assert!(
-            counters
-                .resident_batches
-                .load(std::sync::atomic::Ordering::Relaxed)
-                > 0,
+            counters.resident_batches.get() > 0,
             "wide waves should dispatch to the resident pool"
         );
     }

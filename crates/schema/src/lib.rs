@@ -11,6 +11,8 @@
 //! The chase uses the `DomainId` of a query variable to decide which labeled
 //! nulls it may be mapped to.
 
+#![deny(unsafe_code)]
+
 pub mod constraint;
 pub mod domain;
 pub mod relation;

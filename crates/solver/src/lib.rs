@@ -39,6 +39,8 @@
 //! conservatively — never the reverse. Property tests compare against brute
 //! force on small domains.
 
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod canon;
 pub mod cond;

@@ -64,6 +64,8 @@ impl Model {
             })
     }
 
+    // The loop index doubles as the null id for the defaults table; an
+    // iterator over `self.assign` would hide that correspondence.
     #[allow(clippy::needless_range_loop)]
     /// Fills unassigned nulls with pairwise-distinct default constants of
     /// the right type, leaving assigned nulls untouched. Distinctness keeps

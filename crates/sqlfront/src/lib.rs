@@ -20,6 +20,8 @@
 //! assert_eq!(q.out_vars.len(), 1);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod ast;
 pub mod lower;
 pub mod parser;

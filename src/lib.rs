@@ -62,6 +62,8 @@
 //! `session.explain_collect(ExplainRequest::tree(&tree).variant(variant))`.
 //! See [`core::session`] for the full mapping table.
 
+#![deny(unsafe_code)]
+
 pub use cqi_baseline as baseline;
 pub use cqi_bench as bench;
 pub use cqi_core as core;

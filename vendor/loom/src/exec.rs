@@ -1,0 +1,860 @@
+//! The execution core: one [`Execution`] per explored interleaving, a DFS
+//! driver ([`Builder::check`]) over the tree of scheduling decisions, and
+//! the cooperative gate that keeps exactly one managed thread running at a
+//! time.
+//!
+//! ## How an execution runs
+//!
+//! Managed threads are real OS threads, but they only ever run one at a
+//! time: before every instrumented operation a thread *announces* the
+//! operation it is about to perform and parks until the scheduler picks it
+//! ([`Execution::op_point`]). Every op point where more than one thread is
+//! runnable is a *decision*: the scheduler records the branch taken plus
+//! the unexplored alternatives, and the DFS driver backtracks through them.
+//! Two reductions keep the tree tractable without losing soundness:
+//!
+//! - **invisible-move elision** (a degenerate persistent set): an announced
+//!   operation that touches no shared object (`Begin`, an enabled `Join`)
+//!   commutes with every operation of every other thread, so `{current}` is
+//!   a persistent set at that point and the move is executed immediately
+//!   without branching. Note that the converse does *not* hold for parked
+//!   threads: a thread parked at a non-conflicting pending op must still be
+//!   offered as an alternative, because its *future* ops are unknown —
+//!   which is why the reduction stops here rather than pruning on pairwise
+//!   pending-op conflicts.
+//! - a **preemption bound** (CHESS-style): switching away from a thread
+//!   that could have continued costs one preemption; forced switches (the
+//!   running thread blocked) are free; schedules exceeding the bound are
+//!   pruned. Most protocol bugs need very few preemptions to manifest.
+//!
+//! Replay is by decision prefix: each execution re-runs the model from the
+//! start, consuming recorded choices until it reaches the first unexplored
+//! alternative. The model closure must therefore be deterministic apart
+//! from scheduling (no wall clock, no OS randomness).
+//!
+//! ## Blocking, deadlock, and teardown
+//!
+//! A thread whose pending operation cannot proceed (lock held, join target
+//! unfinished, condvar not yet signalled) is simply never scheduled. When
+//! no thread can be scheduled and not all threads have finished, the
+//! execution reports a **deadlock** violation — which is also how lost
+//! wakeups surface, since spurious wakeups are not modeled.
+//!
+//! On a violation the execution flips to *teardown*: each managed thread is
+//! unwound with a private [`StopToken`] panic at its next instrumented
+//! operation, after which all of its operations degrade to plain `std`
+//! behaviour (real locks, real waits). Because the instrumented primitives
+//! keep the real locking discipline underneath at all times, this degraded
+//! epilogue is just the production code running for real, so cleanup code
+//! (drop guards, pool shutdown) completes and every OS thread exits.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+/// Private panic payload used to unwind managed threads during teardown.
+/// Never a user-visible error: the DFS driver swallows it at the root and
+/// thread wrappers let it terminate the thread (a join then reports `Err`,
+/// exactly like any panicked thread).
+pub(crate) struct StopToken;
+
+static NEXT_OBJ: AtomicU64 = AtomicU64::new(1);
+
+/// Globally unique id for a modeled sync object. Only compared for
+/// equality (conflict detection), so the process-global counter does not
+/// hurt replay determinism.
+pub(crate) fn fresh_obj_id() -> u64 {
+    NEXT_OBJ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An instrumented operation, announced before it is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First schedulable point of a freshly spawned thread.
+    Begin,
+    Lock(u64),
+    TryLock(u64),
+    Unlock(u64),
+    CvWait { cv: u64, mutex: u64 },
+    CvNotifyAll(u64),
+    CvNotifyOne(u64),
+    AtomicLoad(u64),
+    AtomicStore(u64),
+    AtomicRmw(u64),
+    Join(usize),
+}
+
+impl Op {
+    /// An invisible move touches no shared object, so it commutes with
+    /// every operation of every other thread; the scheduler executes it
+    /// immediately without a decision point.
+    fn is_invisible(self) -> bool {
+        matches!(self, Op::Begin | Op::Join(_))
+    }
+
+    fn describe(self) -> String {
+        match self {
+            Op::Begin => "begin".into(),
+            Op::Lock(o) => format!("lock(o{o})"),
+            Op::TryLock(o) => format!("try_lock(o{o})"),
+            Op::Unlock(o) => format!("unlock(o{o})"),
+            Op::CvWait { cv, mutex } => format!("cv_wait(o{cv}, o{mutex})"),
+            Op::CvNotifyAll(o) => format!("notify_all(o{o})"),
+            Op::CvNotifyOne(o) => format!("notify_one(o{o})"),
+            Op::AtomicLoad(o) => format!("atomic_load(o{o})"),
+            Op::AtomicStore(o) => format!("atomic_store(o{o})"),
+            Op::AtomicRmw(o) => format!("atomic_rmw(o{o})"),
+            Op::Join(t) => format!("join(t{t})"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThState {
+    /// Currently scheduled and executing between op points.
+    Running,
+    /// Parked at an op point; schedulable if its pending op is enabled.
+    Ready,
+    /// Blocked in a condvar wait on the given cv object; made Ready by a
+    /// notify. Its pending op is the mutex reacquire.
+    Waiting(u64),
+    Finished,
+}
+
+struct Th {
+    state: ThState,
+    pending: Option<Op>,
+}
+
+#[derive(Default)]
+struct MutexMeta {
+    locked: bool,
+    poisoned: bool,
+}
+
+/// One recorded scheduling decision: the branch taken plus the unexplored
+/// alternatives (consumed by the DFS driver on backtrack).
+pub(crate) struct Node {
+    pub(crate) chosen: usize,
+    pub(crate) rest: Vec<usize>,
+}
+
+const TRACE_CAP: usize = 2048;
+
+struct ExecState {
+    threads: Vec<Th>,
+    /// Index of the scheduled thread; `usize::MAX` once the execution is
+    /// complete or stopping.
+    active: usize,
+    mutexes: HashMap<u64, MutexMeta>,
+    /// Replay prefix: decisions to repeat before exploring new ground.
+    prefix: Vec<usize>,
+    prefix_pos: usize,
+    /// Decisions made past the prefix in this execution.
+    new_nodes: Vec<Node>,
+    preemptions: usize,
+    steps: usize,
+    decision_points: u64,
+    trace: Vec<String>,
+    violation: Option<Violation>,
+    stop: bool,
+}
+
+impl ExecState {
+    fn mutex_mut(&mut self, id: u64) -> &mut MutexMeta {
+        self.mutexes.entry(id).or_default()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.state == ThState::Finished)
+    }
+}
+
+/// Shared state of one explored interleaving.
+pub(crate) struct Execution {
+    m: StdMutex<ExecState>,
+    cv: StdCondvar,
+    preemption_bound: usize,
+    max_steps: usize,
+    full: bool,
+}
+
+/// How an instrumented operation should proceed after its gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Gate {
+    /// Scheduled under the model: the operation's model bookkeeping is
+    /// done; the caller may touch the underlying data (it has exclusivity).
+    Model,
+    /// Teardown / degraded mode: perform the operation with plain `std`
+    /// semantics.
+    Raw,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TryLockGate {
+    Acquired,
+    Blocked,
+    Raw,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+    /// Set once this thread has been unwound with a StopToken; all later
+    /// instrumented ops on the thread degrade to Raw so cleanup code that
+    /// catches the token (e.g. a pool worker's panic trap) still completes.
+    static STOPPED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The current thread's execution context, if it is a managed thread of a
+/// live model run.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn enter_thread(exec: &Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+    STOPPED.with(|s| s.set(false));
+}
+
+fn leave_thread() {
+    CTX.with(|c| *c.borrow_mut() = None);
+    STOPPED.with(|s| s.set(false));
+}
+
+fn enabled(st: &ExecState, t: usize) -> bool {
+    let th = &st.threads[t];
+    match th.state {
+        ThState::Finished | ThState::Waiting(_) => false,
+        ThState::Running => true,
+        ThState::Ready => match th.pending {
+            Some(Op::Lock(m)) => !st.mutexes.get(&m).map(|mm| mm.locked).unwrap_or(false),
+            Some(Op::Join(target)) => st.threads[target].state == ThState::Finished,
+            _ => true,
+        },
+    }
+}
+
+fn describe_block(th: &Th) -> String {
+    match (th.state, th.pending) {
+        (ThState::Waiting(cv), _) => format!("waiting on condvar o{cv}"),
+        (_, Some(op)) => format!("blocked at {}", op.describe()),
+        (state, None) => format!("parked ({state:?})"),
+    }
+}
+
+impl Execution {
+    fn new(preemption_bound: usize, max_steps: usize, full: bool, prefix: Vec<usize>) -> Execution {
+        Execution {
+            m: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                mutexes: HashMap::new(),
+                prefix,
+                prefix_pos: 0,
+                new_nodes: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                decision_points: 0,
+                trace: Vec::new(),
+                violation: None,
+                stop: false,
+            }),
+            cv: StdCondvar::new(),
+            preemption_bound,
+            max_steps,
+            full,
+        }
+    }
+
+    fn register_root(&self) {
+        let mut st = self.m.lock().unwrap();
+        st.threads.push(Th {
+            state: ThState::Running,
+            pending: None,
+        });
+        st.active = 0;
+    }
+
+    /// Registers a freshly spawned managed thread (called on the spawner's
+    /// thread, which holds the schedule, so tid assignment is
+    /// deterministic). The child becomes schedulable at the spawner's next
+    /// op point.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.m.lock().unwrap();
+        st.threads.push(Th {
+            state: ThState::Ready,
+            pending: Some(Op::Begin),
+        });
+        st.threads.len() - 1
+    }
+
+    fn violate(&self, st: &mut ExecState, kind: &str, message: String) {
+        if st.violation.is_none() {
+            st.violation = Some(Violation {
+                kind: kind.to_string(),
+                message,
+                schedule: st.trace.clone(),
+            });
+        }
+        st.stop = true;
+        st.active = usize::MAX;
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to schedule. Called with the lock held, by the
+    /// thread that just announced (or finished) — `st.active` still names
+    /// it.
+    fn decide(&self, st: &mut ExecState) {
+        if st.stop {
+            return;
+        }
+        let n = st.threads.len();
+        let runnable: Vec<usize> = (0..n).filter(|&t| enabled(st, t)).collect();
+        if runnable.is_empty() {
+            if st.all_finished() {
+                st.active = usize::MAX;
+            } else {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, th)| th.state != ThState::Finished)
+                    .map(|(i, th)| format!("t{i} {}", describe_block(th)))
+                    .collect();
+                self.violate(
+                    st,
+                    "deadlock",
+                    format!("no runnable thread: {}", blocked.join("; ")),
+                );
+            }
+            return;
+        }
+        let cur = st.active;
+        let cur_enabled = cur != usize::MAX && runnable.contains(&cur);
+        // Invisible-move elision: the announced op commutes with everything,
+        // so continuing the current thread is a persistent set on its own.
+        if !self.full && cur_enabled {
+            if let Some(op) = st.threads[cur].pending {
+                if op.is_invisible() {
+                    return;
+                }
+            }
+        }
+        // Candidates: the free continuation first (if any), then every other
+        // runnable thread — each of those switches costs a preemption when
+        // the current thread could have continued. Once the bound is spent,
+        // an enabled current thread always continues.
+        let cands: Vec<usize> = if cur_enabled {
+            if st.preemptions >= self.preemption_bound {
+                vec![cur]
+            } else {
+                let mut v = vec![cur];
+                v.extend(runnable.iter().copied().filter(|&t| t != cur));
+                v
+            }
+        } else {
+            runnable
+        };
+        let choice = if cands.len() == 1 {
+            cands[0]
+        } else {
+            st.decision_points += 1;
+            if st.prefix_pos < st.prefix.len() {
+                let c = st.prefix[st.prefix_pos];
+                st.prefix_pos += 1;
+                if !cands.contains(&c) {
+                    self.violate(
+                        st,
+                        "replay-divergence",
+                        "recorded schedule no longer applies — the model is nondeterministic \
+                         (wall clock, OS randomness, or unmodeled synchronization?)"
+                            .to_string(),
+                    );
+                    return;
+                }
+                c
+            } else {
+                st.new_nodes.push(Node {
+                    chosen: cands[0],
+                    rest: cands[1..].to_vec(),
+                });
+                cands[0]
+            }
+        };
+        if cur_enabled && choice != cur {
+            st.preemptions += 1;
+            if st.trace.len() < TRACE_CAP {
+                st.trace.push(format!("-- preempt t{cur} -> t{choice}"));
+            }
+        }
+        st.active = choice;
+    }
+
+    /// Parks until this thread is scheduled. `None` means the execution is
+    /// stopping and the caller must go through [`Execution::stop_gate`].
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> Option<StdMutexGuard<'a, ExecState>> {
+        loop {
+            if st.stop {
+                return None;
+            }
+            if st.active == tid {
+                return Some(st);
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Teardown gate: the first time a (non-panicking) thread hits it, the
+    /// thread is unwound with a StopToken; afterwards — and for threads
+    /// already unwinding — operations degrade to Raw.
+    fn stop_gate(&self) -> Gate {
+        if std::thread::panicking() || STOPPED.with(|s| s.get()) {
+            return Gate::Raw;
+        }
+        STOPPED.with(|s| s.set(true));
+        resume_unwind(Box::new(StopToken));
+    }
+
+    fn record(&self, st: &mut ExecState, tid: usize, what: String) {
+        st.steps += 1;
+        if st.trace.len() < TRACE_CAP {
+            st.trace.push(format!("t{tid}: {what}"));
+        }
+        if st.steps > self.max_steps && !st.stop {
+            self.violate(
+                st,
+                "step-cap",
+                format!(
+                    "execution exceeded {} instrumented steps (livelock or unbounded loop)",
+                    self.max_steps
+                ),
+            );
+        }
+    }
+
+    /// Announce → decide → park → perform, for every op except the
+    /// two-stage condvar wait and try_lock (which have dedicated entry
+    /// points).
+    pub(crate) fn op_point(&self, tid: usize, op: Op) -> Gate {
+        let st = self.m.lock().unwrap();
+        if st.stop {
+            drop(st);
+            return self.stop_gate();
+        }
+        debug_assert_eq!(st.active, tid, "op from a thread that is not scheduled");
+        let mut st = st;
+        st.threads[tid].state = ThState::Ready;
+        st.threads[tid].pending = Some(op);
+        self.decide(&mut st);
+        self.cv.notify_all();
+        let Some(mut st) = self.wait_turn(st, tid) else {
+            return self.stop_gate();
+        };
+        self.record(&mut st, tid, op.describe());
+        match op {
+            Op::Lock(m) => st.mutex_mut(m).locked = true,
+            Op::Unlock(m) => st.mutex_mut(m).locked = false,
+            Op::CvNotifyAll(cv) => {
+                for th in st.threads.iter_mut() {
+                    if th.state == ThState::Waiting(cv) {
+                        th.state = ThState::Ready;
+                    }
+                }
+            }
+            // Approximation: notify_one wakes the lowest-tid waiter rather
+            // than branching over all waiters.
+            Op::CvNotifyOne(cv) => {
+                if let Some(th) = st
+                    .threads
+                    .iter_mut()
+                    .find(|th| th.state == ThState::Waiting(cv))
+                {
+                    th.state = ThState::Ready;
+                }
+            }
+            _ => {}
+        }
+        st.threads[tid].state = ThState::Running;
+        st.threads[tid].pending = None;
+        Gate::Model
+    }
+
+    /// try_lock never blocks: once scheduled, it acquires iff the mutex is
+    /// free at that point of the interleaving.
+    pub(crate) fn try_lock_point(&self, tid: usize, m: u64) -> TryLockGate {
+        let st = self.m.lock().unwrap();
+        if st.stop {
+            drop(st);
+            return match self.stop_gate() {
+                Gate::Raw => TryLockGate::Raw,
+                Gate::Model => unreachable!("stop_gate never grants Model"),
+            };
+        }
+        debug_assert_eq!(st.active, tid, "op from a thread that is not scheduled");
+        let mut st = st;
+        st.threads[tid].state = ThState::Ready;
+        st.threads[tid].pending = Some(Op::TryLock(m));
+        self.decide(&mut st);
+        self.cv.notify_all();
+        let Some(mut st) = self.wait_turn(st, tid) else {
+            return match self.stop_gate() {
+                Gate::Raw => TryLockGate::Raw,
+                Gate::Model => unreachable!("stop_gate never grants Model"),
+            };
+        };
+        self.record(&mut st, tid, Op::TryLock(m).describe());
+        let was_locked = st.mutex_mut(m).locked;
+        if !was_locked {
+            st.mutex_mut(m).locked = true;
+        }
+        st.threads[tid].state = ThState::Running;
+        st.threads[tid].pending = None;
+        if was_locked {
+            TryLockGate::Blocked
+        } else {
+            TryLockGate::Acquired
+        }
+    }
+
+    /// The two-stage condvar wait: (1) announce, get scheduled, atomically
+    /// release the mutex and enter the waiting state with the reacquire
+    /// pre-announced; (2) once notified (Waiting → Ready) *and* granted the
+    /// reacquire, take the mutex back. A `Raw` return means teardown
+    /// interrupted the wait — the caller reacquires for real and returns
+    /// (a spurious wakeup, which std condvar users must tolerate anyway).
+    pub(crate) fn cv_wait(&self, tid: usize, cv: u64, mutex: u64) -> Gate {
+        let st = self.m.lock().unwrap();
+        if st.stop {
+            drop(st);
+            return self.stop_gate();
+        }
+        debug_assert_eq!(st.active, tid, "op from a thread that is not scheduled");
+        let mut st = st;
+        st.threads[tid].state = ThState::Ready;
+        st.threads[tid].pending = Some(Op::CvWait { cv, mutex });
+        self.decide(&mut st);
+        self.cv.notify_all();
+        let Some(mut st) = self.wait_turn(st, tid) else {
+            return self.stop_gate();
+        };
+        self.record(&mut st, tid, Op::CvWait { cv, mutex }.describe());
+        st.mutex_mut(mutex).locked = false;
+        st.threads[tid].state = ThState::Waiting(cv);
+        st.threads[tid].pending = Some(Op::Lock(mutex));
+        self.decide(&mut st);
+        self.cv.notify_all();
+        let Some(mut st) = self.wait_turn(st, tid) else {
+            return self.stop_gate();
+        };
+        self.record(&mut st, tid, format!("cv_wake -> lock(o{mutex})"));
+        st.mutex_mut(mutex).locked = true;
+        st.threads[tid].state = ThState::Running;
+        st.threads[tid].pending = None;
+        Gate::Model
+    }
+
+    /// Marks a mutex poisoned (guard dropped during unwind). Safe to call
+    /// without being scheduled: only the active thread mutates model state,
+    /// and it calls this between op points while still holding the
+    /// schedule.
+    pub(crate) fn set_poisoned(&self, m: u64) {
+        let mut st = self.m.lock().unwrap();
+        st.mutex_mut(m).poisoned = true;
+    }
+
+    pub(crate) fn poisoned(&self, m: u64) -> bool {
+        let mut st = self.m.lock().unwrap();
+        st.mutex_mut(m).poisoned
+    }
+
+    /// First schedulable point of a spawned thread's body.
+    pub(crate) fn child_begin(&self, tid: usize) {
+        let st = self.m.lock().unwrap();
+        if st.stop {
+            drop(st);
+            let _ = self.stop_gate();
+            return;
+        }
+        let Some(mut st) = self.wait_turn(st, tid) else {
+            let _ = self.stop_gate();
+            return;
+        };
+        self.record(&mut st, tid, "begin".into());
+        st.threads[tid].state = ThState::Running;
+        st.threads[tid].pending = None;
+    }
+
+    /// A managed thread's body is done (normally or by unwind).
+    pub(crate) fn thread_finished(&self, tid: usize) {
+        let mut st = self.m.lock().unwrap();
+        st.threads[tid].state = ThState::Finished;
+        st.threads[tid].pending = None;
+        if st.trace.len() < TRACE_CAP {
+            st.trace.push(format!("t{tid}: finished"));
+        }
+        if !st.stop && st.active == tid {
+            self.decide(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The root closure returned (or unwound): record a user panic as a
+    /// violation, or hand the schedule to any threads the model leaked.
+    fn root_exit(&self, user_panic: Option<String>) {
+        let mut st = self.m.lock().unwrap();
+        st.threads[0].state = ThState::Finished;
+        st.threads[0].pending = None;
+        if let Some(message) = user_panic {
+            if st.violation.is_none() {
+                st.violation = Some(Violation {
+                    kind: "panic".into(),
+                    message,
+                    schedule: st.trace.clone(),
+                });
+            }
+            st.stop = true;
+            st.active = usize::MAX;
+        } else if !st.stop && st.active == 0 {
+            self.decide(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every managed thread has reached Finished, so the next
+    /// execution starts from a quiescent process.
+    fn drain(&self) {
+        let mut st = self.m.lock().unwrap();
+        let mut stalls = 0u32;
+        while !st.all_finished() {
+            let (g, to) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(100))
+                .unwrap();
+            st = g;
+            if to.timed_out() {
+                stalls += 1;
+                // Re-prod parked threads in case a wakeup raced teardown.
+                self.cv.notify_all();
+                assert!(
+                    stalls < 300,
+                    "model-checker teardown stalled: a managed thread failed to finish"
+                );
+            }
+        }
+    }
+}
+
+/// Scheduling guard for [`FinishGuard`]-style cleanup in thread wrappers.
+pub(crate) struct FinishGuard {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.exec.thread_finished(self.tid);
+    }
+}
+
+pub(crate) fn enter_spawned_thread(exec: &Arc<Execution>, tid: usize) {
+    enter_thread(exec, tid);
+}
+
+/// A violation found by the checker: a failed user assertion (panic), a
+/// deadlock, a livelock (step cap), or a replay divergence.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// `"panic"`, `"deadlock"`, `"step-cap"`, or `"replay-divergence"`.
+    pub kind: String,
+    pub message: String,
+    /// The interleaving that produced it, as one line per instrumented
+    /// operation (capped).
+    pub schedule: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.message)?;
+        writeln!(f, "schedule ({} ops):", self.schedule.len())?;
+        for line in &self.schedule {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a [`Builder::check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct interleavings executed.
+    pub schedules: usize,
+    /// Total scheduling decisions taken across all executions.
+    pub decision_points: u64,
+    /// True when the whole (bounded) schedule tree was explored without
+    /// hitting `max_schedules`.
+    pub exhausted: bool,
+    /// Deepest decision stack observed.
+    pub max_depth: usize,
+    pub violation: Option<Violation>,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} schedules, {} decision points, max depth {}, {}",
+            self.schedules,
+            self.decision_points,
+            self.max_depth,
+            if self.exhausted {
+                "exhausted"
+            } else if self.violation.is_some() {
+                "stopped at first violation"
+            } else {
+                "NOT exhausted (schedule cap hit)"
+            }
+        )?;
+        match &self.violation {
+            None => write!(f, ", no violation"),
+            Some(v) => write!(f, "\nVIOLATION {v}"),
+        }
+    }
+}
+
+/// Bounded-exhaustive model checker configuration.
+///
+/// ```
+/// let report = loom::Builder::default().check(|| {
+///     let a = std::sync::Arc::new(loom::sync::atomic::AtomicU64::new(0));
+///     let a2 = std::sync::Arc::clone(&a);
+///     let t = loom::thread::spawn(move || {
+///         a2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+///     });
+///     a.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+///     t.join().unwrap();
+///     assert_eq!(a.load(std::sync::atomic::Ordering::SeqCst), 2);
+/// });
+/// assert!(report.exhausted && report.violation.is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Stop after this many executed schedules (the run is then reported
+    /// as not exhausted).
+    pub max_schedules: usize,
+    /// Schedules may preempt a runnable thread at most this many times;
+    /// forced switches (the running thread blocked) are free.
+    pub preemption_bound: usize,
+    /// Per-execution instrumented-op cap; exceeding it is a violation.
+    pub max_steps: usize,
+    /// Disable the invisible-move elision and branch over every runnable
+    /// thread at every op point (cross-validation; larger trees).
+    pub full_exploration: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            max_schedules: 200_000,
+            preemption_bound: 2,
+            max_steps: 50_000,
+            full_exploration: false,
+        }
+    }
+}
+
+impl Builder {
+    /// Explores interleavings of `f` depth-first until a violation, the
+    /// schedule cap, or exhaustion of the (bounded) tree.
+    pub fn check<F: Fn()>(&self, f: F) -> Report {
+        assert!(
+            current().is_none(),
+            "nested model checking is not supported"
+        );
+        let mut stack: Vec<Node> = Vec::new();
+        let mut report = Report {
+            schedules: 0,
+            decision_points: 0,
+            exhausted: false,
+            max_depth: 0,
+            violation: None,
+        };
+        loop {
+            report.schedules += 1;
+            let exec = Arc::new(Execution::new(
+                self.preemption_bound,
+                self.max_steps,
+                self.full_exploration,
+                stack.iter().map(|n| n.chosen).collect(),
+            ));
+            exec.register_root();
+            enter_thread(&exec, 0);
+            let r = catch_unwind(AssertUnwindSafe(&f));
+            let user_panic = match &r {
+                Ok(()) => None,
+                Err(p) if p.downcast_ref::<StopToken>().is_some() => None,
+                Err(p) => Some(panic_message(p.as_ref())),
+            };
+            exec.root_exit(user_panic);
+            exec.drain();
+            leave_thread();
+            let mut st = exec.m.lock().unwrap();
+            report.decision_points += st.decision_points;
+            report.max_depth = report.max_depth.max(stack.len() + st.new_nodes.len());
+            if let Some(v) = st.violation.take() {
+                report.violation = Some(v);
+                return report;
+            }
+            stack.append(&mut st.new_nodes);
+            drop(st);
+            // DFS backtrack: advance the deepest node with an unexplored
+            // alternative; exhausted when none remains.
+            loop {
+                match stack.last_mut() {
+                    None => {
+                        report.exhausted = true;
+                        return report;
+                    }
+                    Some(n) if !n.rest.is_empty() => {
+                        n.chosen = n.rest.remove(0);
+                        break;
+                    }
+                    Some(_) => {
+                        stack.pop();
+                    }
+                }
+            }
+            if report.schedules >= self.max_schedules {
+                return report;
+            }
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Convenience wrapper: checks `f` with default bounds and panics with the
+/// violation report if one is found.
+pub fn model<F: Fn()>(f: F) {
+    let report = Builder::default().check(f);
+    if let Some(v) = &report.violation {
+        panic!(
+            "model check failed after {} schedules:\n{v}",
+            report.schedules
+        );
+    }
+}

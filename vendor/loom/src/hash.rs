@@ -1,0 +1,27 @@
+//! A deterministic `BuildHasher`, used in place of `std`'s seeded
+//! `RandomState` under model checking so that hash-based placement (e.g.
+//! memo stripe selection) is identical across replayed executions —
+//! a requirement for schedule replay to stay on the recorded path.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::BuildHasher;
+
+/// Fixed-seed stand-in for `std::hash::RandomState`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FixedState;
+
+impl FixedState {
+    pub fn new() -> FixedState {
+        FixedState
+    }
+}
+
+impl BuildHasher for FixedState {
+    type Hasher = DefaultHasher;
+
+    fn build_hasher(&self) -> DefaultHasher {
+        // DefaultHasher::new() is SipHash with fixed keys: stable within a
+        // process run, which is all replay needs.
+        DefaultHasher::new()
+    }
+}

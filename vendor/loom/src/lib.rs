@@ -1,0 +1,412 @@
+//! # loom (offline mini model checker)
+//!
+//! A vendored, dependency-free, `unsafe`-free stand-in for the `loom`
+//! crate's core idea: run a closure under **bounded exhaustive
+//! exploration of thread interleavings** and report the first schedule
+//! that violates an assertion, deadlocks, or livelocks.
+//!
+//! The API mirrors the subsets of `std::sync` / `std::thread` that
+//! `cqi-runtime` routes through its `sync` shim:
+//!
+//! - [`sync::Mutex`], [`sync::Condvar`], [`sync::atomic`] — instrumented
+//!   primitives; every operation is a scheduling point.
+//! - [`thread::spawn`] / [`thread::scope`] — managed threads gated by the
+//!   cooperative scheduler; joins are modeled.
+//! - [`hash::FixedState`] — deterministic hashing for replay-stable
+//!   placement.
+//! - [`Builder`] / [`model`] — the DFS driver over schedules, with a
+//!   conflict-driven persistent-set reduction (only racing operations
+//!   branch) and a configurable preemption bound.
+//!
+//! ## What counts as a violation
+//!
+//! - a panic escaping the *root* closure (failed assertion);
+//! - a **deadlock**: no thread can be scheduled and not all have finished
+//!   — which is also how *lost wakeups* surface, since spurious wakeups
+//!   are not modeled;
+//! - a **livelock**: one execution exceeding [`Builder::max_steps`];
+//! - a replay divergence (the model is nondeterministic beyond
+//!   scheduling: wall clock, OS randomness, unmodeled synchronization).
+//!
+//! A panic that stays inside a *spawned* managed thread is **not** a
+//! violation: exactly as in std, it surfaces as an `Err` from `join` (and
+//! poisons mutexes whose guards unwind), so panic-path protocols can be
+//! checked.
+//!
+//! ## Model hygiene
+//!
+//! Model closures must be deterministic apart from scheduling, create
+//! their sync objects fresh inside the closure, join every thread they
+//! spawn (scoped threads are auto-joined), and keep state tiny — the
+//! schedule tree is exponential in racing operations. Counters that are
+//! *observed* but not *protocol-relevant* should not use instrumented
+//! atomics, or they will branch the tree for nothing.
+
+#![forbid(unsafe_code)]
+
+mod exec;
+pub mod hash;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{model, Builder, Report, Violation};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    use crate::sync::atomic::AtomicU64;
+    use crate::sync::{Condvar, Mutex};
+    use crate::{thread, Builder};
+
+    fn quick() -> Builder {
+        Builder {
+            max_schedules: 20_000,
+            preemption_bound: 2,
+            max_steps: 10_000,
+            full_exploration: false,
+        }
+    }
+
+    /// Two threads doing a non-atomic load-then-store increment: the
+    /// classic lost update. The checker must find the interleaving where
+    /// both loads happen before either store.
+    #[test]
+    fn racy_counter_lost_update_is_found() {
+        let report = quick().check(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        let v = a.load(Ordering::SeqCst);
+                        a.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+        let v = report.violation.expect("the lost update must be found");
+        assert_eq!(v.kind, "panic");
+        assert!(v.message.contains("lost update"), "unexpected: {}", v.message);
+    }
+
+    /// The same counter with a proper read-modify-write: no interleaving
+    /// loses an update, and the tree exhausts.
+    #[test]
+    fn atomic_counter_is_clean_and_exhausts() {
+        let report = quick().check(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted, "tree must exhaust: {report}");
+        assert!(report.schedules > 1, "racing RMWs must branch");
+    }
+
+    /// Mutex-protected increments are clean under every interleaving.
+    #[test]
+    fn mutex_counter_is_clean_and_exhausts() {
+        let report = quick().check(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        *m.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted);
+    }
+
+    /// AB–BA lock ordering: the checker must find the deadlock.
+    #[test]
+    fn ab_ba_deadlock_is_found() {
+        let report = quick().check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            let _ = t.join();
+        });
+        let v = report.violation.expect("AB-BA must deadlock somewhere");
+        assert_eq!(v.kind, "deadlock", "got: {v}");
+    }
+
+    /// A condvar consumer that checks its predicate with `if` instead of
+    /// `while`, paired with a producer that sets the flag *before* the
+    /// consumer sleeps in some interleavings and *after* in others — plus
+    /// a notify that can fire before the wait starts. The lost wakeup
+    /// surfaces as a deadlock.
+    #[test]
+    fn lost_wakeup_in_if_based_wait_is_found() {
+        let report = quick().check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let consumer = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let ready = m.lock().unwrap();
+                // BUG: a notify that lands before this wait is lost; with
+                // no re-check loop the consumer sleeps forever. (The
+                // correct form is `while !*ready`.)
+                if !*ready {
+                    let _g = cv.wait(ready).unwrap();
+                }
+            });
+            {
+                let (m, cv) = &*state;
+                // BUG ingredient: flag and notify are not atomic with the
+                // consumer's predicate check.
+                *m.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            let _ = consumer.join();
+        });
+        // All interleavings either complete or deadlock; the checker must
+        // find a deadlocking one... except this particular toy always has
+        // the producer's lock blocked while the consumer holds the mutex,
+        // so the only lost-wakeup window is notify-before-wait — which the
+        // `if` check happens to cover. Tighten: assert the checker at
+        // least exhausts; the truly-racy variant is below.
+        assert!(report.exhausted || report.violation.is_some());
+    }
+
+    /// A genuinely lost wakeup: the producer notifies *without* setting
+    /// the predicate first (signal-then-set), so a consumer that checks,
+    /// sees false, and waits after the notify sleeps forever.
+    #[test]
+    fn signal_before_set_lost_wakeup_is_found() {
+        let report = quick().check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let consumer = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+            {
+                let (m, cv) = &*state;
+                // BUG: notify fires before the predicate is set, and the
+                // set never re-notifies.
+                cv.notify_all();
+                *m.lock().unwrap() = true;
+            }
+            let _ = consumer.join();
+        });
+        let v = report.violation.expect("lost wakeup must be found");
+        assert_eq!(v.kind, "deadlock", "got: {v}");
+    }
+
+    /// The fixed producer/consumer (set under the lock, then notify;
+    /// while-loop re-check): clean under every interleaving.
+    #[test]
+    fn correct_condvar_handoff_is_clean() {
+        let report = quick().check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let consumer = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+            {
+                let (m, cv) = &*state;
+                *m.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            consumer.join().unwrap();
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted);
+    }
+
+    /// A panic inside a spawned thread is a join-Err, not a violation, and
+    /// the poisoned mutex is observable — std semantics.
+    #[test]
+    fn child_panic_is_join_err_with_poisoning_not_violation() {
+        let report = quick().check(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                let _g = m2.lock().unwrap();
+                panic!("child panic");
+            });
+            assert!(t.join().is_err(), "child panicked");
+            assert!(m.lock().is_err(), "guard unwound -> poisoned");
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted);
+    }
+
+    /// `std` fidelity: a lock taken and released by cleanup code while an
+    /// unwind is already in progress must NOT poison the mutex — `std`
+    /// poisons only when a panic *starts* inside the critical section.
+    /// (Regression test: an earlier guard impl poisoned on any
+    /// drop-while-panicking, which falsely condemned the resident pool's
+    /// `BatchGuard` teardown path.)
+    #[test]
+    fn cleanup_lock_during_unwind_does_not_poison() {
+        struct Cleanup(Arc<Mutex<u64>>);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                *self.0.lock().unwrap() += 1;
+            }
+        }
+        let report = quick().check(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let _cleanup = Cleanup(m2);
+                panic!("unwind through the cleanup guard");
+            }));
+            assert!(r.is_err());
+            assert_eq!(*m.lock().unwrap(), 1, "cleanup ran; mutex not poisoned");
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted);
+    }
+
+    /// Scoped threads under the model: auto-joined, deterministic results.
+    #[test]
+    fn scoped_threads_are_managed_and_joined() {
+        let report = quick().check(|| {
+            let total = Arc::new(AtomicU64::new(0));
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    let total = Arc::clone(&total);
+                    s.spawn(move || {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted);
+    }
+
+    /// Reduced exploration agrees with full exploration on finding the
+    /// racy-counter bug, with no more schedules.
+    #[test]
+    fn reduced_mode_agrees_with_full_mode() {
+        let run = |full: bool| {
+            Builder {
+                full_exploration: full,
+                ..quick()
+            }
+            .check(|| {
+                let a = Arc::new(AtomicU64::new(0));
+                let a2 = Arc::clone(&a);
+                let t = thread::spawn(move || {
+                    let v = a2.load(Ordering::SeqCst);
+                    a2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = a.load(Ordering::SeqCst);
+                a.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            })
+        };
+        let reduced = run(false);
+        let full = run(true);
+        assert!(reduced.violation.is_some(), "reduced must find it");
+        assert!(full.violation.is_some(), "full must find it");
+        assert!(
+            reduced.schedules <= full.schedules,
+            "reduction must not grow the tree ({} vs {})",
+            reduced.schedules,
+            full.schedules
+        );
+    }
+
+    /// A single-threaded model has exactly one schedule and no decisions.
+    #[test]
+    fn sequential_model_is_one_schedule() {
+        let report = quick().check(|| {
+            let m = Mutex::new(5u64);
+            *m.lock().unwrap() += 1;
+            assert_eq!(m.into_inner().unwrap(), 6);
+        });
+        assert!(report.violation.is_none());
+        assert!(report.exhausted);
+        assert_eq!(report.schedules, 1);
+        assert_eq!(report.decision_points, 0);
+    }
+
+    /// try_lock outcomes depend on the interleaving: both outcomes are
+    /// explored (contended and uncontended).
+    #[test]
+    fn try_lock_explores_both_outcomes() {
+        use std::sync::atomic::AtomicU64 as PlainU64;
+        let saw_blocked = Arc::new(PlainU64::new(0));
+        let saw_acquired = Arc::new(PlainU64::new(0));
+        let (sb, sa) = (Arc::clone(&saw_blocked), Arc::clone(&saw_acquired));
+        let report = quick().check(move || {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                *g += 1;
+            });
+            match m.try_lock() {
+                Ok(_) => sa.fetch_add(1, Ordering::Relaxed),
+                Err(_) => sb.fetch_add(1, Ordering::Relaxed),
+            };
+            t.join().unwrap();
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted);
+        assert!(saw_acquired.load(Ordering::Relaxed) > 0, "uncontended path unexplored");
+        assert!(saw_blocked.load(Ordering::Relaxed) > 0, "contended path unexplored");
+    }
+
+    /// Outside any model run the primitives behave like plain std.
+    #[test]
+    fn primitives_degrade_to_std_outside_models() {
+        let m = Mutex::new(1u64);
+        *m.lock().unwrap() += 1;
+        assert!(m.try_lock().is_ok());
+        let a = AtomicU64::new(0);
+        a.store(7, Ordering::SeqCst);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 7);
+        let t = thread::spawn(|| 42);
+        assert_eq!(t.join().unwrap(), 42);
+        thread::scope(|s| {
+            let h = s.spawn(|| 1u64);
+            assert_eq!(h.join().unwrap(), 1);
+        });
+    }
+}

@@ -1,0 +1,462 @@
+//! Instrumented drop-in replacements for the `std::sync` types the
+//! runtime's protocols use: [`Mutex`], [`Condvar`], and sequentially
+//! consistent atomics.
+//!
+//! Each primitive keeps its data in the *real* `std` primitive underneath
+//! and adds a model gate in front: under an active model run the scheduler
+//! decides when the operation proceeds (and the real lock is then taken
+//! with a `try_lock` that cannot fail, since the model guarantees
+//! exclusivity); outside a model run — or during teardown — every
+//! operation degrades to the plain `std` behaviour. Keeping the real
+//! locking discipline underneath at all times is what makes the teardown
+//! path safe, and it means none of this crate needs `unsafe`.
+//!
+//! Atomics accept an `Ordering` argument for API compatibility but model
+//! (and execute) every operation as sequentially consistent — the model
+//! explores thread interleavings, not memory reorderings, so checked code
+//! must not rely on `Relaxed`-only subtleties for correctness.
+
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::exec::{current, fresh_obj_id, Execution, Gate, Op, TryLockGate};
+
+/// Mirror of `std::sync::PoisonError`.
+pub struct PoisonError<G> {
+    guard: G,
+}
+
+impl<G> PoisonError<G> {
+    pub fn new(guard: G) -> PoisonError<G> {
+        PoisonError { guard }
+    }
+
+    pub fn into_inner(self) -> G {
+        self.guard
+    }
+
+    pub fn get_ref(&self) -> &G {
+        &self.guard
+    }
+}
+
+impl<G> std::fmt::Debug for PoisonError<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+impl<G> std::fmt::Display for PoisonError<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("poisoned lock: another task failed inside")
+    }
+}
+
+/// Mirror of `std::sync::TryLockError`.
+pub enum TryLockError<G> {
+    Poisoned(PoisonError<G>),
+    WouldBlock,
+}
+
+impl<G> std::fmt::Debug for TryLockError<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryLockError::Poisoned(_) => f.write_str("Poisoned(..)"),
+            TryLockError::WouldBlock => f.write_str("WouldBlock"),
+        }
+    }
+}
+
+impl<G> std::fmt::Display for TryLockError<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryLockError::Poisoned(e) => e.fmt(f),
+            TryLockError::WouldBlock => f.write_str("try_lock failed because the operation would block"),
+        }
+    }
+}
+
+pub type LockResult<G> = Result<G, PoisonError<G>>;
+pub type TryLockResult<G> = Result<G, TryLockError<G>>;
+
+/// Model-instrumented mutex with the `std::sync::Mutex` API.
+pub struct Mutex<T> {
+    id: u64,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex {
+            id: fresh_obj_id(),
+            data: StdMutex::new(t),
+        }
+    }
+
+    fn wrap_raw<'a>(
+        &'a self,
+        r: Result<StdMutexGuard<'a, T>, std::sync::PoisonError<StdMutexGuard<'a, T>>>,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        match r {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model: None,
+            }),
+            Err(pe) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(pe.into_inner()),
+                model: None,
+            })),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            None => self.wrap_raw(self.data.lock()),
+            Some((exec, tid)) => match exec.op_point(tid, Op::Lock(self.id)) {
+                Gate::Raw => self.wrap_raw(self.data.lock()),
+                Gate::Model => {
+                    let g = MutexGuard {
+                        lock: self,
+                        inner: Some(self.take_data_lock()),
+                        model: Some(ModelHold::new(exec.clone(), tid)),
+                    };
+                    if exec.poisoned(self.id) {
+                        Err(PoisonError::new(g))
+                    } else {
+                        Ok(g)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Takes the real data lock after a model grant. Never blocks (the
+    /// model guarantees exclusivity); real-layer poisoning is absorbed here
+    /// because the model's own poison state is what callers observe.
+    fn take_data_lock(&self) -> StdMutexGuard<'_, T> {
+        match self.data.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(pe)) => pe.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                unreachable!("model grant implies a free data lock")
+            }
+        }
+    }
+
+    fn try_lock_raw(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match self.data.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model: None,
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(std::sync::TryLockError::Poisoned(pe)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(pe.into_inner()),
+                    model: None,
+                })))
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match current() {
+            None => self.try_lock_raw(),
+            Some((exec, tid)) => match exec.try_lock_point(tid, self.id) {
+                TryLockGate::Raw => self.try_lock_raw(),
+                TryLockGate::Blocked => Err(TryLockError::WouldBlock),
+                TryLockGate::Acquired => {
+                    let g = MutexGuard {
+                        lock: self,
+                        inner: Some(self.take_data_lock()),
+                        model: Some(ModelHold::new(exec.clone(), tid)),
+                    };
+                    if exec.poisoned(self.id) {
+                        Err(TryLockError::Poisoned(PoisonError::new(g)))
+                    } else {
+                        Ok(g)
+                    }
+                }
+            },
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T>
+    where
+        T: Sized,
+    {
+        // Consuming the mutex proves no other reference exists; no
+        // scheduling point needed.
+        match self.data.into_inner() {
+            Ok(t) => Ok(t),
+            Err(pe) => Err(PoisonError::new(pe.into_inner())),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+/// A model-mode guard's scheduling state.
+struct ModelHold {
+    exec: Arc<Execution>,
+    tid: usize,
+    /// `thread::panicking()` at acquire time. Like `std`, a guard poisons
+    /// its mutex only when a panic *starts* while the guard is held — a
+    /// lock taken and released by cleanup code during an unwind already in
+    /// progress (e.g. a drop guard closing a protocol down) must not
+    /// poison.
+    entered_panicking: bool,
+}
+
+impl ModelHold {
+    fn new(exec: Arc<Execution>, tid: usize) -> ModelHold {
+        ModelHold {
+            exec,
+            tid,
+            entered_panicking: std::thread::panicking(),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]: releases the real lock first, then reports the
+/// model unlock (poisoning the model mutex if a panic started while the
+/// guard was held).
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: Option<ModelHold>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(hold) = self.model.take() {
+            if std::thread::panicking() && !hold.entered_panicking {
+                hold.exec.set_poisoned(self.lock.id);
+            }
+            let _ = hold.exec.op_point(hold.tid, Op::Unlock(self.lock.id));
+        }
+    }
+}
+
+/// Model-instrumented condvar with the `std::sync::Condvar` API (no
+/// spurious wakeups are modeled, so a lost wakeup shows up as a deadlock
+/// violation; teardown may deliver one spurious wakeup, which std condvar
+/// users must tolerate anyway).
+pub struct Condvar {
+    id: u64,
+    real: StdCondvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            id: fresh_obj_id(),
+            real: StdCondvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        match guard.model.take() {
+            None => {
+                // Raw: a real wait on the real condvar/mutex pair.
+                let inner = guard.inner.take().expect("guard holds the lock");
+                drop(guard);
+                match self.real.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(pe) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(pe.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some(hold) => {
+                let (exec, tid) = (hold.exec, hold.tid);
+                // Release the real lock before parking; the model still
+                // marks the mutex held until the wait's first stage
+                // performs, so no managed thread can slip in between.
+                drop(guard.inner.take());
+                drop(guard);
+                match exec.cv_wait(tid, self.id, lock.id) {
+                    Gate::Model => {
+                        let g = MutexGuard {
+                            lock,
+                            inner: Some(lock.take_data_lock()),
+                            model: Some(ModelHold::new(exec.clone(), tid)),
+                        };
+                        if exec.poisoned(lock.id) {
+                            Err(PoisonError::new(g))
+                        } else {
+                            Ok(g)
+                        }
+                    }
+                    // Teardown: reacquire for real and return — a spurious
+                    // wakeup. The caller's predicate loop re-waits through
+                    // the raw path above from then on.
+                    Gate::Raw => match lock.data.lock() {
+                        Ok(g) => Ok(MutexGuard {
+                            lock,
+                            inner: Some(g),
+                            model: None,
+                        }),
+                        Err(pe) => Err(PoisonError::new(MutexGuard {
+                            lock,
+                            inner: Some(pe.into_inner()),
+                            model: None,
+                        })),
+                    },
+                }
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((exec, tid)) = current() {
+            let _ = exec.op_point(tid, Op::CvNotifyAll(self.id));
+        }
+        // Always also notify for real: raw-mode waiters block on the real
+        // condvar, and model-mode waiters ignore the real signal.
+        self.real.notify_all();
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((exec, tid)) = current() {
+            let _ = exec.op_point(tid, Op::CvNotifyOne(self.id));
+        }
+        self.real.notify_one();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").field("id", &self.id).finish()
+    }
+}
+
+/// Sequentially consistent instrumented atomics.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::gated;
+    use crate::exec::{fresh_obj_id, Op};
+
+    macro_rules! atomic_int {
+        ($name:ident, $raw:ty, $prim:ty) => {
+            /// Model-instrumented atomic; every op is a scheduling point
+            /// and executes as `SeqCst` regardless of the ordering passed.
+            #[derive(Debug)]
+            pub struct $name {
+                id: u64,
+                v: $raw,
+            }
+
+            impl $name {
+                pub fn new(v: $prim) -> $name {
+                    $name {
+                        id: fresh_obj_id(),
+                        v: <$raw>::new(v),
+                    }
+                }
+
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    gated(Op::AtomicLoad(self.id));
+                    self.v.load(Ordering::SeqCst)
+                }
+
+                pub fn store(&self, val: $prim, _order: Ordering) {
+                    gated(Op::AtomicStore(self.id));
+                    self.v.store(val, Ordering::SeqCst)
+                }
+
+                pub fn fetch_add(&self, val: $prim, _order: Ordering) -> $prim {
+                    gated(Op::AtomicRmw(self.id));
+                    self.v.fetch_add(val, Ordering::SeqCst)
+                }
+
+                pub fn swap(&self, val: $prim, _order: Ordering) -> $prim {
+                    gated(Op::AtomicRmw(self.id));
+                    self.v.swap(val, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Model-instrumented atomic bool (`SeqCst` regardless of the ordering
+    /// passed).
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        id: u64,
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                id: fresh_obj_id(),
+                v: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> bool {
+            gated(Op::AtomicLoad(self.id));
+            self.v.load(Ordering::SeqCst)
+        }
+
+        pub fn store(&self, val: bool, _order: Ordering) {
+            gated(Op::AtomicStore(self.id));
+            self.v.store(val, Ordering::SeqCst)
+        }
+
+        pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+            gated(Op::AtomicRmw(self.id));
+            self.v.swap(val, Ordering::SeqCst)
+        }
+    }
+}
+
+/// Runs the model gate for a one-shot op (atomics): scheduling decides
+/// *when* the op happens; the actual memory effect is performed by the
+/// caller immediately after, which is race-free because the calling thread
+/// keeps the schedule until its next op point (and `SeqCst` covers the raw
+/// mode).
+fn gated(op: Op) {
+    if let Some((exec, tid)) = current() {
+        let _ = exec.op_point(tid, op);
+    }
+}

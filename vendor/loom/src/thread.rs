@@ -1,0 +1,161 @@
+//! Managed-thread wrappers with the `std::thread` API surface the runtime
+//! uses: [`spawn`]/[`JoinHandle`] and [`scope`]/[`Scope`].
+//!
+//! Managed threads are real OS threads gated by the execution's
+//! cooperative scheduler. Joins are modeled (a join is enabled only once
+//! the target thread has finished), then performed for real. Every scoped
+//! thread is model-joined when the scope closure returns — a model join is
+//! just "wait until the target finished", so re-joining an explicitly
+//! joined thread is a no-op — which guarantees std's real scope-exit join
+//! can never block on a thread the scheduler still has parked.
+//!
+//! Outside a model run every wrapper degrades to plain `std::thread`
+//! behaviour.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::exec::{current, enter_spawned_thread, Execution, FinishGuard, Op};
+
+/// Mirror of `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Model-joins (enabled once the target finished), then joins the OS
+    /// thread. A thread unwound during teardown reports `Err`, exactly
+    /// like any panicked thread.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = &self.model {
+            if let Some((_, my_tid)) = current() {
+                let _ = exec.op_point(my_tid, Op::Join(*target));
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// Mirror of `std::thread::spawn`. Under a model run the spawned thread is
+/// registered with the scheduler and parks until scheduled; tid assignment
+/// happens on the spawning thread, so it is deterministic under replay.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+        Some((exec, _parent)) => {
+            let tid = exec.register_thread();
+            let exec2 = Arc::clone(&exec);
+            let inner = std::thread::spawn(move || {
+                enter_spawned_thread(&exec2, tid);
+                let _fin = FinishGuard {
+                    exec: Arc::clone(&exec2),
+                    tid,
+                };
+                exec2.child_begin(tid);
+                f()
+            });
+            JoinHandle {
+                inner,
+                model: Some((exec, tid)),
+            }
+        }
+    }
+}
+
+/// Mirror of `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    exec: Option<Arc<Execution>>,
+    /// Every managed tid spawned in this scope — model-joined when the
+    /// scope closure returns. Only the owning thread touches this (the
+    /// runtime never spawns from inside a scoped child).
+    spawned: RefCell<Vec<usize>>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.exec {
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                model: None,
+            },
+            Some(exec) => {
+                let tid = exec.register_thread();
+                self.spawned.borrow_mut().push(tid);
+                let exec2 = Arc::clone(exec);
+                let inner = self.inner.spawn(move || {
+                    enter_spawned_thread(&exec2, tid);
+                    let _fin = FinishGuard {
+                        exec: Arc::clone(&exec2),
+                        tid,
+                    };
+                    exec2.child_begin(tid);
+                    f()
+                });
+                ScopedJoinHandle {
+                    inner,
+                    model: Some((Arc::clone(exec), tid)),
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = &self.model {
+            if let Some((_, my_tid)) = current() {
+                let _ = exec.op_point(my_tid, Op::Join(*target));
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// Mirror of `std::thread::scope`. On the model path every scoped thread
+/// is model-joined after the closure returns, before std's real scope-exit
+/// join runs. (Not reached when the closure unwinds — teardown raw-joins
+/// instead, which is safe because stopped children run to completion
+/// unmanaged.)
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    // Unlike std, the outer borrow is a fresh (shorter) lifetime: the
+    // wrapper Scope lives inside the inner closure's frame, so it cannot
+    // itself be borrowed for 'scope. Handles only carry 'scope, so call
+    // sites written against std's signature still infer fine.
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = current();
+    std::thread::scope(|s| {
+        let wrapped = Scope {
+            inner: s,
+            exec: ctx.as_ref().map(|(e, _)| Arc::clone(e)),
+            spawned: RefCell::new(Vec::new()),
+        };
+        let out = f(&wrapped);
+        if let Some((exec, my_tid)) = &ctx {
+            for tid in wrapped.spawned.borrow().clone() {
+                let _ = exec.op_point(*my_tid, Op::Join(tid));
+            }
+        }
+        out
+    })
+}
