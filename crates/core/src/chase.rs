@@ -29,26 +29,31 @@
 //! `crates/core/tests/parallel_props.rs`).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cqi_drc::{Atom, Formula, Query, Term, VarId};
+use cqi_drc::{Atom, Coverage, Formula, Query, Term, VarId};
 use cqi_obs::trace::{self, Phase};
 use cqi_instance::consistency::{
     conj_lits, is_consistent, is_consistent_cached, is_pure_conjunctive, to_problem,
 };
-use cqi_instance::{exact_digest, is_isomorphic, signature, CInstance, Cond};
+use cqi_instance::{
+    digest_stats, exact_digest, exact_digest_fresh, is_isomorphic, signature, signature_fresh,
+    subsumes, CInstance, Cond,
+};
 use cqi_runtime::{
     DriveStats, Exec, Expansion, FrontierScheduler, FrontierTask, MemoCounts, ParallelScheduler,
-    ResidentPool, RunCounters, SequentialScheduler, SetKey, StripedMemo,
+    ResidentPool, RunCounters, SequentialScheduler, SetKey, StripedMemo, WaveVisible,
 };
-use cqi_solver::canon::{canonicalize, CanonKey};
+use cqi_solver::canon::{canonicalize, CanonKey, Canonical};
 use cqi_solver::{CacheStats, Ent, Lit, Model, SaturatedState, SolverCache};
 
 use crate::config::{CancelToken, ChaseConfig};
 use crate::conjtree::expand_disj_node;
+use crate::cover::coverage_of_cinstance_keys;
 use crate::dnf::{has_quantifier, tree_to_conj};
 use crate::treesat::{atom_to_lit, Hom, SatCtx};
 
@@ -63,6 +68,73 @@ const SHARED_SOLVER_CAP: usize = 32_768;
 /// Lock stripes of each shared memo (mirrors `ShardedDedupe`'s striping;
 /// power of two).
 const MEMO_STRIPES: usize = 64;
+
+/// Bound on the subsumption-prune comparison set, total across coverage
+/// classes. Scans do a cheap coverage-equality reject before any embedding
+/// attempt, so the cap mostly bounds memory and the per-accept set-compare
+/// count, not backtracking work.
+const SUBSUME_VISIBLE_CAP: usize = 512;
+
+/// Representatives staged per coverage class. The earliest accepts of a
+/// class are the smallest (the BFS visits instances in size order), hence
+/// the likeliest to embed into a later re-derivation — so a few early
+/// representatives per class retain almost all pruning power while keeping
+/// embedding attempts per accept at `class_cap` (not `visible_cap`).
+const SUBSUME_CLASS_CAP: usize = 8;
+
+/// Embedding attempts per nested-BFS result. Only same-coverage earlier
+/// results are tried at all, and after this many failed backtracking
+/// attempts the result is kept — pruning is best-effort, keeping is always
+/// sound.
+const NESTED_SUBSUME_ATTEMPTS: usize = 16;
+
+/// [`exact_digest`] honoring [`ChaseConfig::digest_cache`]: the A/B knob
+/// routes every chase-side digest probe to the memo-backed or the
+/// from-scratch computation (same value either way).
+fn digest_of(cfg: &ChaseConfig, inst: &CInstance) -> u64 {
+    if cfg.digest_cache {
+        exact_digest(inst)
+    } else {
+        exact_digest_fresh(inst)
+    }
+}
+
+/// [`signature`] honoring [`ChaseConfig::digest_cache`]; twin of
+/// [`digest_of`].
+fn signature_of(cfg: &ChaseConfig, inst: &CInstance) -> u64 {
+    if cfg.digest_cache {
+        signature(inst)
+    } else {
+        signature_fresh(inst)
+    }
+}
+
+/// Is `cand` a redundant re-derivation of an earlier-kept result of the
+/// same nested search — same leaf coverage, and some kept result embeds
+/// into it (seed-null prefix fixed)?
+fn nested_subsumed(
+    kept: &[CInstance],
+    kept_covs: &[Coverage],
+    cand: &CInstance,
+    cov: &Coverage,
+    fixed: usize,
+) -> bool {
+    let _s = trace::span_phase("subsume_nested", "chase", Phase::Dedupe);
+    let mut attempts = 0usize;
+    for (acc, acc_cov) in kept.iter().zip(kept_covs) {
+        if acc_cov != cov || acc.size() > cand.size() {
+            continue;
+        }
+        attempts += 1;
+        if attempts > NESTED_SUBSUME_ATTEMPTS {
+            return false;
+        }
+        if subsumes(acc, cand, fixed) {
+            return true;
+        }
+    }
+    false
+}
 
 /// The shared (L2) tier behind every worker's L1 memos: lock-striped maps
 /// holding solver answers that are pure functions of their keys, so a
@@ -124,6 +196,19 @@ pub struct ChaseStats {
     pub incr_extends: u64,
     /// Chase steps that fell back to a full consistency check.
     pub incr_fallbacks: u64,
+    /// Frontier subtrees skipped by homomorphic subsumption pruning
+    /// (`ChaseConfig::subsume_prune`).
+    pub subsumed_subtrees: u64,
+    /// Exact-digest requests answered from the per-instance cache vs
+    /// recomputed ([`cqi_instance::digest_stats`]).
+    pub digest_hits: u64,
+    pub digest_recomputes: u64,
+    /// Wave-batched consistency problems (`ChaseConfig::wave_batch`,
+    /// parallel driver): unique problems considered vs canonical
+    /// equivalence classes actually resolved — `problems - classes` solver
+    /// round-trips were deduplicated within waves.
+    pub wave_batch_problems: u64,
+    pub wave_batch_classes: u64,
     /// Wall-time phase breakdown (ns), populated only on traced runs
     /// (`ChaseConfig::trace`) — derived from the same `cqi-obs` span
     /// instrumentation as the Perfetto trace. Only *leaf* spans are
@@ -164,6 +249,21 @@ impl ChaseStats {
         rate(self.sat_l2.hits, self.sat_l2.misses)
     }
 
+    /// Fraction of exact-digest requests served from the incremental cache.
+    pub fn digest_hit_rate(&self) -> f64 {
+        rate(self.digest_hits, self.digest_recomputes)
+    }
+
+    /// Fraction of wave-batched problems deduplicated into an already-seen
+    /// canonical class (`0.0` when batching never engaged).
+    pub fn wave_batch_dedupe_ratio(&self) -> f64 {
+        if self.wave_batch_problems == 0 {
+            0.0
+        } else {
+            1.0 - self.wave_batch_classes as f64 / self.wave_batch_problems as f64
+        }
+    }
+
     /// Sum of the phase-breakdown components (ns); `0` on untraced runs.
     pub fn phase_total_ns(&self) -> u64 {
         self.phase_solver_ns + self.phase_canon_ns + self.phase_dedupe_ns + self.phase_sched_ns
@@ -189,6 +289,9 @@ impl ChaseStats {
              \"solver_l1_hit_rate\": {:.4}, \"solver_l2_hit_rate\": {:.4}, \
              \"sat_l1_hit_rate\": {:.4}, \"sat_l2_hit_rate\": {:.4}, \
              \"l2_contended\": {}, \"incr_extends\": {}, \"incr_fallbacks\": {}, \
+             \"subsumed_subtrees\": {}, \
+             \"digest_cache\": {{\"hits\": {}, \"recomputes\": {}}}, \
+             \"wave_batch\": {{\"problems\": {}, \"classes\": {}}}, \
              \"phases\": {{\"solver_ns\": {}, \"canonicalization_ns\": {}, \
              \"dedupe_ns\": {}, \"scheduling_ns\": {}}}}}",
             self.waves,
@@ -206,6 +309,11 @@ impl ChaseStats {
             self.solver_l2.contended + self.sat_l2.contended,
             self.incr_extends,
             self.incr_fallbacks,
+            self.subsumed_subtrees,
+            self.digest_hits,
+            self.digest_recomputes,
+            self.wave_batch_problems,
+            self.wave_batch_classes,
             self.phase_solver_ns,
             self.phase_canon_ns,
             self.phase_dedupe_ns,
@@ -229,6 +337,11 @@ impl ChaseStats {
             solver_l2_misses: std::sync::Arc<cqi_obs::Counter>,
             incr_extends: std::sync::Arc<cqi_obs::Counter>,
             incr_fallbacks: std::sync::Arc<cqi_obs::Counter>,
+            subsumed: std::sync::Arc<cqi_obs::Counter>,
+            digest_hits: std::sync::Arc<cqi_obs::Counter>,
+            digest_recomputes: std::sync::Arc<cqi_obs::Counter>,
+            wave_batch_problems: std::sync::Arc<cqi_obs::Counter>,
+            wave_batch_classes: std::sync::Arc<cqi_obs::Counter>,
             phase_ns: [std::sync::Arc<cqi_obs::Counter>; 4],
         }
         static SERIES: OnceLock<Series> = OnceLock::new();
@@ -273,6 +386,31 @@ impl ChaseStats {
                     "chase steps that fell back to a full solve",
                     &[],
                 ),
+                subsumed: r.counter(
+                    "cqi_chase_subsumed_total",
+                    "frontier subtrees skipped by subsumption pruning",
+                    &[],
+                ),
+                digest_hits: r.counter(
+                    "cqi_digest_cache_total",
+                    "exact-digest requests by outcome",
+                    &[("outcome", "hit")],
+                ),
+                digest_recomputes: r.counter(
+                    "cqi_digest_cache_total",
+                    "exact-digest requests by outcome",
+                    &[("outcome", "recompute")],
+                ),
+                wave_batch_problems: r.counter(
+                    "cqi_wave_batch_problems_total",
+                    "unique consistency problems considered by wave batching",
+                    &[],
+                ),
+                wave_batch_classes: r.counter(
+                    "cqi_wave_batch_classes_total",
+                    "canonical equivalence classes resolved by wave batching",
+                    &[],
+                ),
                 phase_ns: [
                     r.counter("cqi_phase_ns_total", "traced time per phase (ns)", &[(
                         "phase",
@@ -303,6 +441,11 @@ impl ChaseStats {
         s.solver_l2_misses.add(self.solver_l2.misses);
         s.incr_extends.add(self.incr_extends);
         s.incr_fallbacks.add(self.incr_fallbacks);
+        s.subsumed.add(self.subsumed_subtrees);
+        s.digest_hits.add(self.digest_hits);
+        s.digest_recomputes.add(self.digest_recomputes);
+        s.wave_batch_problems.add(self.wave_batch_problems);
+        s.wave_batch_classes.add(self.wave_batch_classes);
         s.phase_ns[0].add(self.phase_solver_ns);
         s.phase_ns[1].add(self.phase_canon_ns);
         s.phase_ns[2].add(self.phase_dedupe_ns);
@@ -334,6 +477,11 @@ impl ChaseStats {
         add(&mut self.sat_l2, other.sat_l2);
         self.incr_extends += other.incr_extends;
         self.incr_fallbacks += other.incr_fallbacks;
+        self.subsumed_subtrees += other.subsumed_subtrees;
+        self.digest_hits += other.digest_hits;
+        self.digest_recomputes += other.digest_recomputes;
+        self.wave_batch_problems += other.wave_batch_problems;
+        self.wave_batch_classes += other.wave_batch_classes;
         self.phase_solver_ns += other.phase_solver_ns;
         self.phase_canon_ns += other.phase_canon_ns;
         self.phase_dedupe_ns += other.phase_dedupe_ns;
@@ -350,7 +498,8 @@ impl std::fmt::Display for ChaseStats {
             f,
             "waves={}({} spilled) steals={} batches={}r/{}s \
              dedupe={}/{}dup/{}iso solverL1={:.0}%({}) L2={:.0}%({}) \
-             satL1={:.0}%({}) incr={}+{}fb",
+             satL1={:.0}%({}) incr={}+{}fb subsumed={} digest={:.0}%({}) \
+             batch={}cls/{}",
             self.waves,
             self.spilled_waves,
             self.steals,
@@ -367,6 +516,11 @@ impl std::fmt::Display for ChaseStats {
             self.sat_l1_hits + self.sat_l1_misses,
             self.incr_extends,
             self.incr_fallbacks,
+            self.subsumed_subtrees,
+            self.digest_hit_rate() * 100.0,
+            self.digest_hits + self.digest_recomputes,
+            self.wave_batch_classes,
+            self.wave_batch_problems,
         )?;
         if self.phase_total_ns() > 0 {
             let ms = |ns: u64| ns as f64 / 1e6;
@@ -473,6 +627,9 @@ pub(crate) struct WorkerCtx {
     sat_l1_misses: u64,
     /// Chase steps decided by extending the parent's saturated state.
     incr_extends: usize,
+    /// Nested-BFS results dropped by the subsumption cut (each one skipped
+    /// the downstream chases it would have seeded — a whole subtree).
+    subsumed: u64,
     /// Chase steps that fell back to the full check (keys, negative
     /// conditions, or no reusable parent state).
     incr_fallbacks: usize,
@@ -495,6 +652,7 @@ impl WorkerCtx {
             sat_l1_hits: 0,
             sat_l1_misses: 0,
             incr_extends: 0,
+            subsumed: 0,
             incr_fallbacks: 0,
             timed_out: false,
             cancelled: false,
@@ -612,6 +770,11 @@ pub struct RootJob<'f> {
     pub h: Hom,
 }
 
+/// One entry of [`Chase::accepted`]: the instance, its wall-clock
+/// acceptance offset, and — when the subsumption filter computed it at
+/// the sink — the instance's leaf coverage.
+pub type AcceptedInstance = (CInstance, Duration, Option<Coverage>);
+
 /// One chase run (possibly over several trees, for the `Conj-*` and `*-Add`
 /// variants, which all feed the same accepted-instance log).
 pub struct Chase<'a> {
@@ -632,8 +795,10 @@ pub struct Chase<'a> {
     pub halted: bool,
     done: bool,
     /// Satisfying consistent instances accepted at the top level, with
-    /// acceptance timestamps (drives the §5.1 interactivity metrics).
-    pub accepted: Vec<(CInstance, Duration)>,
+    /// acceptance timestamps (drives the §5.1 interactivity metrics) and —
+    /// when the subsumption filter already paid for it — the instance's
+    /// leaf coverage, reused by validation and the `*-Add` re-seed scan.
+    pub accepted: Vec<AcceptedInstance>,
     /// Resolved thread budget (`cfg.threads`, 0 ⇒ available parallelism).
     threads: usize,
     /// One memo context per worker; `ctxs[0]` doubles as the sequential
@@ -648,6 +813,12 @@ pub struct Chase<'a> {
     run_counters: RunCounters,
     /// Wave/dedupe totals accumulated over this run's drives.
     drive_acc: DriveStats,
+    /// Subsumption-pruned subtrees over this run's drives (the task-local
+    /// counter is read back after each drive).
+    subsumed: u64,
+    /// Wave-batch problem/class totals over this run's drives.
+    wave_problems: u64,
+    wave_classes: u64,
     /// Cumulative cache counters at construction — subtracted so
     /// [`Chase::stats`] reports per-run deltas despite session-persistent
     /// caches.
@@ -734,6 +905,9 @@ impl<'a> Chase<'a> {
             shared: Arc::clone(&caches.shared),
             run_counters: RunCounters::default(),
             drive_acc: DriveStats::default(),
+            subsumed: 0,
+            wave_problems: 0,
+            wave_classes: 0,
             stats_base: ChaseStats::default(),
             phase_base: trace::phase_totals(),
             query_key,
@@ -787,7 +961,15 @@ impl<'a> Chase<'a> {
     /// baseline).
     fn cumulative_stats(&self) -> ChaseStats {
         let counters = self.run_counters.snapshot();
+        // Process-global cumulative; the per-run delta comes out of the
+        // `stats_base` subtraction like every other persistent counter.
+        let (digest_hits, digest_recomputes) = digest_stats::snapshot();
         let mut s = ChaseStats {
+            subsumed_subtrees: self.subsumed,
+            digest_hits,
+            digest_recomputes,
+            wave_batch_problems: self.wave_problems,
+            wave_batch_classes: self.wave_classes,
             waves: self.drive_acc.waves,
             spilled_waves: self.drive_acc.spilled_waves,
             steals: counters.steals,
@@ -801,6 +983,7 @@ impl<'a> Chase<'a> {
             ..ChaseStats::default()
         };
         self.visit_ctxs(&mut |c| {
+            s.subsumed_subtrees += c.subsumed;
             s.solver_l1_hits += c.solver_cache.stats.hits;
             s.solver_l1_misses += c.solver_cache.stats.misses;
             s.sat_l1_hits += c.sat_l1_hits;
@@ -838,6 +1021,14 @@ impl<'a> Chase<'a> {
             sat_l2: sub_counts(cur.sat_l2, base.sat_l2),
             incr_extends: cur.incr_extends - base.incr_extends,
             incr_fallbacks: cur.incr_fallbacks - base.incr_fallbacks,
+            subsumed_subtrees: cur.subsumed_subtrees - base.subsumed_subtrees,
+            // Saturating: the digest counters are process-global, so a
+            // concurrent run elsewhere in the process can only inflate the
+            // delta, never underflow it — but stay defensive.
+            digest_hits: cur.digest_hits.saturating_sub(base.digest_hits),
+            digest_recomputes: cur.digest_recomputes.saturating_sub(base.digest_recomputes),
+            wave_batch_problems: cur.wave_batch_problems - base.wave_batch_problems,
+            wave_batch_classes: cur.wave_batch_classes - base.wave_batch_classes,
         }
     }
 
@@ -869,7 +1060,7 @@ impl<'a> Chase<'a> {
     /// logging accepted instances. A single root drives the frontier
     /// scheduler directly (wave-parallel when `threads > 1`).
     pub fn run_root(&mut self, formula: &Formula, seed: CInstance, seed_h: Hom) {
-        self.run_root_observed(formula, seed, seed_h, &mut |_, _| true);
+        self.run_root_observed(formula, seed, seed_h, &mut |_, _, _| true);
     }
 
     /// [`Chase::run_root`] with an acceptance observer: `observer` is
@@ -883,7 +1074,7 @@ impl<'a> Chase<'a> {
         formula: &Formula,
         seed: CInstance,
         seed_h: Hom,
-        observer: &mut dyn FnMut(&CInstance, Duration) -> bool,
+        observer: &mut dyn FnMut(&CInstance, Duration, Option<&Coverage>) -> bool,
     ) {
         if self.done {
             return;
@@ -913,16 +1104,20 @@ impl<'a> Chase<'a> {
             h0: &h0,
             query_key: self.query_key,
             exec,
+            subsume: SubsumePrune::for_seed(self.cfg, &i0),
+            pruned: AtomicU64::new(0),
+            wave_problems: AtomicU64::new(0),
+            wave_classes: AtomicU64::new(0),
         };
         let start = self.start;
         let max = self.cfg.max_results;
         let accepted = &mut self.accepted;
         let mut done = false;
         let mut halted = false;
-        let mut sink = |inst: CInstance| {
+        let mut sink = |(inst, cov): (CInstance, Option<Coverage>)| {
             let t = start.elapsed();
-            let keep_streaming = observer(&inst, t);
-            accepted.push((inst, t));
+            let keep_streaming = observer(&inst, t, cov.as_ref());
+            accepted.push((inst, t, cov));
             if !keep_streaming {
                 halted = true;
                 done = true;
@@ -946,7 +1141,15 @@ impl<'a> Chase<'a> {
                 &mut sink,
             )
         };
+        let (pruned, wave_problems, wave_classes) = (
+            task.pruned.load(Ordering::SeqCst),
+            task.wave_problems.load(Ordering::SeqCst),
+            task.wave_classes.load(Ordering::SeqCst),
+        );
         self.absorb_drive(drive_stats);
+        self.subsumed += pruned;
+        self.wave_problems += wave_problems;
+        self.wave_classes += wave_classes;
         self.done |= done;
         self.halted |= halted;
         self.collect_ctx_flags();
@@ -958,7 +1161,7 @@ impl<'a> Chase<'a> {
     /// instances are merged in job order — identical output to running the
     /// jobs one by one.
     pub fn run_roots(&mut self, jobs: Vec<RootJob<'_>>) {
-        self.run_roots_observed(jobs, &mut |_, _| true);
+        self.run_roots_observed(jobs, &mut |_, _, _| true);
     }
 
     /// [`Chase::run_roots`] with an acceptance observer (see
@@ -967,7 +1170,7 @@ impl<'a> Chase<'a> {
     pub fn run_roots_observed(
         &mut self,
         jobs: Vec<RootJob<'_>>,
-        observer: &mut dyn FnMut(&CInstance, Duration) -> bool,
+        observer: &mut dyn FnMut(&CInstance, Duration, Option<&Coverage>) -> bool,
     ) {
         if jobs.is_empty() || self.done {
             return;
@@ -987,7 +1190,7 @@ impl<'a> Chase<'a> {
     fn run_roots_parallel(
         &mut self,
         jobs: Vec<RootJob<'_>>,
-        observer: &mut dyn FnMut(&CInstance, Duration) -> bool,
+        observer: &mut dyn FnMut(&CInstance, Duration, Option<&Coverage>) -> bool,
     ) {
         let query = self.query;
         let cfg = self.cfg;
@@ -1003,20 +1206,20 @@ impl<'a> Chase<'a> {
         }
         .with_counters(&self.run_counters);
         let _fanout_span = trace::span("root_job_fanout", "chase");
-        let per_job: Vec<(Vec<(CInstance, Duration)>, DriveStats)> =
+        let per_job: Vec<(Vec<AcceptedInstance>, DriveStats, u64)> =
             exec.run(&mut self.ctxs, &jobs, |ctx, _, job| {
                 let _job_span = trace::span("root_job", "chase");
                 // lint:allow(wall-clock) deadline enforcement needs a real clock
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     ctx.timed_out = true;
-                    return (Vec::new(), DriveStats::default());
+                    return (Vec::new(), DriveStats::default(), 0);
                 }
                 if cancel
                     .as_ref()
                     .is_some_and(CancelToken::is_cancelled)
                 {
                     ctx.cancelled = true;
-                    return (Vec::new(), DriveStats::default());
+                    return (Vec::new(), DriveStats::default(), 0);
                 }
                 let (i0, h0) =
                     bind_free_vars(query, job.formula, job.seed.clone(), job.h.clone());
@@ -1030,12 +1233,16 @@ impl<'a> Chase<'a> {
                     h0: &h0,
                     query_key,
                     exec,
+                    subsume: SubsumePrune::for_seed(cfg, &i0),
+                    pruned: AtomicU64::new(0),
+                    wave_problems: AtomicU64::new(0),
+                    wave_classes: AtomicU64::new(0),
                 };
-                let mut acc: Vec<(CInstance, Duration)> = Vec::new();
-                let mut sink = |inst: CInstance| {
+                let mut acc: Vec<AcceptedInstance> = Vec::new();
+                let mut sink = |(inst, cov): (CInstance, Option<Coverage>)| {
                     // Timestamp at the moment of acceptance, not at merge —
                     // the §5.1 interactivity metrics read these.
-                    acc.push((inst, start.elapsed()));
+                    acc.push((inst, start.elapsed(), cov));
                     // No single job ever needs more than the global cap.
                     max.is_none_or(|m| acc.len() < m)
                 };
@@ -1046,7 +1253,8 @@ impl<'a> Chase<'a> {
                     vec![i0],
                     &mut sink,
                 );
-                (acc, st)
+                let pruned = task.pruned.load(Ordering::SeqCst);
+                (acc, st, pruned)
             });
         // Deterministic merge: job order, truncated at the global cap
         // exactly where a sequential run would have stopped. (The log stays
@@ -1054,11 +1262,12 @@ impl<'a> Chase<'a> {
         // jobs, as they legitimately do.) The observer fires here, at the
         // merge point — job-level fan-out is a batch barrier, unlike the
         // per-wave flushing of the wave-parallel scheduler.
-        'merge: for (acc, st) in per_job {
+        'merge: for (acc, st, pruned) in per_job {
             self.absorb_drive(st);
-            for (inst, t) in acc {
-                let keep_streaming = observer(&inst, t);
-                self.accepted.push((inst, t));
+            self.subsumed += pruned;
+            for (inst, t, cov) in acc {
+                let keep_streaming = observer(&inst, t, cov.as_ref());
+                self.accepted.push((inst, t, cov));
                 if !keep_streaming {
                     self.halted = true;
                     self.done = true;
@@ -1109,12 +1318,46 @@ struct RootTask<'t> {
     query_key: u64,
     /// Thread source for nested-BFS fan-out inside [`Engine`].
     exec: Exec<'t>,
+    /// Subsumption-prune state (`None` when `cfg.subsume_prune` is off).
+    subsume: Option<SubsumePrune>,
+    /// Subtrees pruned this drive; read back by [`Chase`] afterwards.
+    pruned: AtomicU64,
+    /// Wave-batching totals this drive (unique problems / canonical
+    /// classes); read back by [`Chase`] afterwards.
+    wave_problems: AtomicU64,
+    wave_classes: AtomicU64,
+}
+
+/// Prune state of one root drive: the accepted instances published at wave
+/// boundaries, plus the seed-null prefix every instance of this root
+/// shares.
+struct SubsumePrune {
+    /// Accepted instances with their leaf coverage, staged in sink order
+    /// and published at wave boundaries — so a prune decision only ever
+    /// sees accepts from strictly earlier BFS generations, identically
+    /// under the sequential and parallel drivers.
+    visible: WaveVisible<(CInstance, Coverage)>,
+    /// Number of seed nulls (the bound free variables). They denote the
+    /// same entities in every instance of this root, so an embedding must
+    /// map them identically rather than renaming them.
+    fixed: usize,
+}
+
+impl SubsumePrune {
+    fn for_seed(cfg: &ChaseConfig, seed: &CInstance) -> Option<SubsumePrune> {
+        cfg.subsume_prune.then(|| SubsumePrune {
+            visible: WaveVisible::new(),
+            fixed: seed.num_nulls(),
+        })
+    }
 }
 
 impl FrontierTask for RootTask<'_> {
     type Item = CInstance;
     type Ctx = WorkerCtx;
-    type Accept = CInstance;
+    /// Accepted instance plus its leaf coverage when the subsumption filter
+    /// already computed it (reused downstream; `None` with pruning off).
+    type Accept = (CInstance, Option<Coverage>);
 
     fn admit(&self, inst: &CInstance) -> bool {
         inst.size() <= self.cfg.limit
@@ -1122,8 +1365,8 @@ impl FrontierTask for RootTask<'_> {
 
     fn keys(&self, inst: &CInstance) -> SetKey {
         SetKey {
-            signature: signature(inst),
-            digest: exact_digest(inst),
+            signature: signature_of(self.cfg, inst),
+            digest: digest_of(self.cfg, inst),
         }
     }
 
@@ -1144,7 +1387,11 @@ impl FrontierTask for RootTask<'_> {
         false
     }
 
-    fn expand(&self, ctx: &mut WorkerCtx, inst: &CInstance) -> Expansion<CInstance, CInstance> {
+    fn expand(
+        &self,
+        ctx: &mut WorkerCtx,
+        inst: &CInstance,
+    ) -> Expansion<CInstance, (CInstance, Option<Coverage>)> {
         let mut engine = Engine {
             query: self.query,
             cfg: self.cfg,
@@ -1155,11 +1402,46 @@ impl FrontierTask for RootTask<'_> {
             exec: self.exec,
             ctx,
         };
+        // Subsumption cut (checked before the accept test): when a visible,
+        // already-accepted instance of this root embeds into this one *and*
+        // covers exactly the same query leaves, this instance is dead work:
+        // if it satisfies, it is a strictly larger re-derivation of the same
+        // conditional answer (`minimize` keeps the earlier, smaller accept,
+        // and the covered-leaf union feeding the `*-Add` re-seed phase is
+        // unchanged), and its subtree is moot either way because accepted
+        // instances are never expanded. Coverage equality is essential: a
+        // superset with *new* coverage is a distinct answer and must
+        // survive. The visible set holds only boundary-published accepts
+        // (strictly earlier waves), so sequential and parallel drives prune
+        // identically. The popped instance's coverage is computed lazily,
+        // only once some accept actually embeds — failed embeddings stay
+        // cheap (budgeted backtracking, no Tree-SAT).
+        if let Some(sub) = &self.subsume {
+            let visible = sub.visible.snapshot();
+            if !visible.is_empty() {
+                let _s = trace::span_phase("subsume_check", "chase", Phase::Dedupe);
+                let mut cov: Option<Coverage> = None;
+                for (acc, acc_cov) in visible.iter() {
+                    if subsumes(acc, inst, sub.fixed) {
+                        let c = cov.get_or_insert_with(|| {
+                            coverage_of_cinstance_keys(self.query, inst, self.cfg.enforce_keys)
+                        });
+                        if c == acc_cov {
+                            self.pruned.fetch_add(1, Ordering::SeqCst);
+                            return Expansion {
+                                accepted: None,
+                                children: Vec::new(),
+                            };
+                        }
+                    }
+                }
+            }
+        }
         // Line 13: Tree-SAT under the root homomorphism ∧ IsConsistent(I).
         let sat = SatCtx::new(self.query, inst, self.cfg.enforce_keys).tree_sat(self.formula, self.h0);
         if sat && engine.consistent(inst) {
             return Expansion {
-                accepted: Some(inst.clone()),
+                accepted: Some((inst.clone(), None)),
                 children: Vec::new(),
             };
         }
@@ -1176,6 +1458,164 @@ impl FrontierTask for RootTask<'_> {
         Expansion {
             accepted: None,
             children,
+        }
+    }
+
+    /// Sink-point subsumption filter. Accept-heavy workloads produce most
+    /// of their accepts as *same-wave siblings*, which the expand-time
+    /// pre-check above structurally cannot see (it reads only
+    /// boundary-published state). Both drivers call `note_accept` at their
+    /// single FIFO merge point on the driving thread, so here the candidate
+    /// can be compared against every earlier-kept accept — published *and*
+    /// staged — and the kept stream is identical under sequential and
+    /// parallel drives. Dropping an accept `D` subsumed by an earlier-kept
+    /// `A` with equal coverage is output-preserving: `minimize` keeps the
+    /// minimum-size instance per coverage with earliest-acceptance
+    /// tie-break, and `A ↪ D` forces `|A| ≤ |D|`, so `D` never wins; the
+    /// covered-leaf union feeding the `*-Add` re-seed phase is unchanged
+    /// because `cov(D) = cov(A)` contributes nothing new.
+    ///
+    /// The coverage computed here is attached to the kept accept, so the
+    /// downstream validation/`*-Add` consumers reuse it instead of
+    /// recomputing — with pruning on, the filter's coverage work *replaces*
+    /// the sink's, it does not add to it.
+    fn note_accept(&self, accepted: &mut (CInstance, Option<Coverage>)) -> bool {
+        let Some(sub) = &self.subsume else { return true };
+        let (inst, cov_slot) = accepted;
+        let _s = trace::span_phase("subsume_sink", "chase", Phase::Dedupe);
+        let cov = coverage_of_cinstance_keys(self.query, inst, self.cfg.enforce_keys);
+        // Cheap coverage-equality reject first: embedding attempts run only
+        // against the (few) earlier representatives of this exact class.
+        let mut total = 0usize;
+        let mut same_class = 0usize;
+        let dead = sub.visible.any_all(|(acc, acc_cov)| {
+            total += 1;
+            *acc_cov == cov && {
+                same_class += 1;
+                subsumes(acc, inst, sub.fixed)
+            }
+        });
+        if dead {
+            self.pruned.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
+        // When the filter keeps the accept, `total`/`same_class` equal the
+        // current visible population (published + staged) — both are pure
+        // functions of the FIFO kept stream, hence identical across
+        // drivers. Staging is capped per class (early accepts of a class
+        // are the smallest, so a few representatives retain the pruning
+        // power) and in total (memory + scan bound).
+        if total < SUBSUME_VISIBLE_CAP && same_class < SUBSUME_CLASS_CAP {
+            sub.visible.note((inst.clone(), cov.clone()));
+        }
+        *cov_slot = Some(cov);
+        true
+    }
+
+    fn wave_boundary(&self) {
+        if let Some(sub) = &self.subsume {
+            sub.visible.publish(SUBSUME_VISIBLE_CAP);
+        }
+    }
+
+    /// Whole-wave solver batching (`cfg.wave_batch`, parallel driver only):
+    /// canonicalize every survivor's consistency problem once, dedupe
+    /// identical canonical problems across the wave, solve one
+    /// representative per class on the lead context, and prime every
+    /// worker's digest memo with the verdicts — so the per-item
+    /// `consistent` probes inside [`expand`](Self::expand) become O(1) hash
+    /// hits regardless of which worker each item lands on. Verdicts are
+    /// pure functions of the canonical problem, so this only moves work,
+    /// never changes answers.
+    fn prepare_wave(&self, ctxs: &mut [WorkerCtx], survivors: &[&CInstance]) {
+        if !self.cfg.wave_batch || survivors.len() < 2 || ctxs.is_empty() {
+            return;
+        }
+        let _s = trace::span_phase("wave_batch", "sched", Phase::Sched);
+        // Unique digests; a verdict some worker already holds (typically
+        // the child's producer) is fanned out without re-canonicalizing.
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut known: Vec<(u64, bool)> = Vec::new();
+        let mut unknown: Vec<(u64, &CInstance)> = Vec::new();
+        for inst in survivors {
+            let digest = digest_of(self.cfg, inst);
+            if !seen.insert(digest) {
+                continue;
+            }
+            match ctxs.iter().find_map(|c| c.consist_memo.get(&digest)) {
+                Some(&sat) => known.push((digest, sat)),
+                None => unknown.push((digest, inst)),
+            }
+        }
+        self.wave_problems.fetch_add(seen.len() as u64, Ordering::SeqCst);
+        // Canonicalize the undecided problems and group identical ones.
+        let mut class_of: HashMap<CanonKey, usize> = HashMap::new();
+        let mut classes: Vec<(Canonical, Vec<u64>)> = Vec::new();
+        for (digest, inst) in unknown {
+            let canon = {
+                let _c = trace::span_phase("canonicalize", "solver", Phase::Canon);
+                canonicalize(&to_problem(inst, self.cfg.enforce_keys))
+            };
+            match class_of.get(&canon.key) {
+                Some(&i) => classes[i].1.push(digest),
+                None => {
+                    class_of.insert(canon.key.clone(), classes.len());
+                    classes.push((canon, vec![digest]));
+                }
+            }
+        }
+        self.wave_classes.fetch_add(classes.len() as u64, Ordering::SeqCst);
+        // Resolve one representative per class on the lead context:
+        // L1 → shared L2 → batch solve, publishing fresh verdicts to L2.
+        let mut verdicts: Vec<(Vec<u64>, bool)> = known
+            .into_iter()
+            .map(|(digest, sat)| (vec![digest], sat))
+            .collect();
+        {
+            let ctx0 = &mut ctxs[0];
+            let mut to_solve: Vec<(Canonical, Vec<u64>)> = Vec::new();
+            for (canon, digests) in classes {
+                match ctx0.solver_cache.lookup_sat(&canon) {
+                    Some(sat) => verdicts.push((digests, sat)),
+                    None => {
+                        let l2 = ctx0
+                            .share_l2
+                            .then(|| ctx0.shared.solver.get(&canon.key))
+                            .flatten();
+                        match l2 {
+                            Some(result) => {
+                                let sat = result.is_some();
+                                ctx0.solver_cache.insert_canonical(canon.key.clone(), result);
+                                verdicts.push((digests, sat));
+                            }
+                            None => to_solve.push((canon, digests)),
+                        }
+                    }
+                }
+            }
+            let bits = {
+                let refs: Vec<&Canonical> = to_solve.iter().map(|(c, _)| c).collect();
+                let _solve = trace::span_phase("wave_batch_solve", "solver", Phase::Solver);
+                ctx0.solver_cache.solve_batch(&refs).0
+            };
+            for ((canon, digests), sat) in to_solve.into_iter().zip(bits) {
+                if ctx0.share_l2 {
+                    if let Some(result) = ctx0.solver_cache.peek_canonical(&canon.key) {
+                        ctx0.shared.solver.insert(canon.key, result);
+                    }
+                }
+                verdicts.push((digests, sat));
+            }
+        }
+        // Fan every verdict out to every worker's digest memo.
+        for ctx in ctxs.iter_mut() {
+            for (digests, sat) in &verdicts {
+                for &digest in digests {
+                    if ctx.consist_memo.len() < 1_000_000 {
+                        ctx.consist_memo.insert(digest, *sat);
+                    }
+                }
+            }
         }
     }
 }
@@ -1212,7 +1652,7 @@ impl Engine<'_> {
     }
 
     fn consistent(&mut self, inst: &CInstance) -> bool {
-        let key = exact_digest(inst);
+        let key = digest_of(self.cfg, inst);
         if let Some(v) = self.ctx.consist_memo.get(&key) {
             return *v;
         }
@@ -1230,7 +1670,7 @@ impl Engine<'_> {
     /// touches keys or negative conditions (or no parent state is
     /// reusable).
     fn consistent_step(&mut self, parent: &CInstance, child: &CInstance) -> bool {
-        let key = exact_digest(child);
+        let key = digest_of(self.cfg, child);
         if let Some(v) = self.ctx.consist_memo.get(&key) {
             return *v;
         }
@@ -1395,7 +1835,7 @@ impl Engine<'_> {
         {
             return None;
         }
-        let parent_key = state_key(exact_digest(parent), parent);
+        let parent_key = state_key(digest_of(self.cfg, parent), parent);
         let mut seeded: Option<SaturatedState> = None;
         if self.ctx.sat_memo.contains_key(&parent_key) {
             self.ctx.sat_l1_hits += 1;
@@ -1454,7 +1894,7 @@ impl Engine<'_> {
         // `Chase::query_key`) + subtree structure + exact instance + the
         // homomorphism entries its free variables see.
         let fkey = hash_of(&(self.query_key, format!("{q:?}")));
-        let ikey = exact_digest(i0);
+        let ikey = digest_of(self.cfg, i0);
         let hkey = {
             let mut hh = DefaultHasher::new();
             for v in q.free_vars() {
@@ -1490,7 +1930,13 @@ impl Engine<'_> {
     /// (children of `wave[i]` precede children of `wave[i+1]`).
     fn bfs_inner(&mut self, q: &Formula, h0: &Hom, i0: &CInstance) -> Vec<CInstance> {
         let (i0, h0) = bind_free_vars(self.query, q, i0.clone(), h0.clone());
+        // Seed nulls are shared by every result of this search, so a
+        // subsumption embedding must keep them pointwise fixed.
+        let fixed = i0.num_nulls();
         let mut res: Vec<CInstance> = Vec::new();
+        // Leaf coverage of each kept result, in step with `res` (filled
+        // only under `cfg.subsume_prune`).
+        let mut res_covs: Vec<Coverage> = Vec::new();
         let mut frontier: Vec<CInstance> = vec![i0];
         let mut visited: Vec<(u64, CInstance)> = Vec::new();
         while !frontier.is_empty() {
@@ -1506,7 +1952,7 @@ impl Engine<'_> {
                     if inst.size() > self.cfg.limit {
                         continue;
                     }
-                    let sig = signature(&inst);
+                    let sig = signature_of(self.cfg, &inst);
                     if visited
                         .iter()
                         .any(|(s, v)| *s == sig && is_isomorphic(v, &inst))
@@ -1523,6 +1969,26 @@ impl Engine<'_> {
             // mid-wave; zip drops the tail, matching the sequential break.
             for (inst, (accepted, children)) in wave.into_iter().zip(steps) {
                 if accepted {
+                    // Subsumption cut: a result into which an earlier-kept
+                    // result embeds (seed nulls fixed, same leaf coverage)
+                    // is a redundant re-derivation — and every chase the
+                    // caller would have seeded from it (the right-hand
+                    // searches of `handle_conjunction`, recursively) dies
+                    // with it. This is per-search-local FIFO state, so the
+                    // kept list is a pure function of the search inputs —
+                    // identical under sequential and wave-parallel drives.
+                    if self.cfg.subsume_prune {
+                        let cov = coverage_of_cinstance_keys(
+                            self.query,
+                            &inst,
+                            self.cfg.enforce_keys,
+                        );
+                        if nested_subsumed(&res, &res_covs, &inst, &cov, fixed) {
+                            self.ctx.subsumed += 1;
+                            continue;
+                        }
+                        res_covs.push(cov);
+                    }
                     res.push(inst);
                 } else {
                     frontier.extend(children);
@@ -1874,7 +2340,7 @@ mod tests {
         let mut chase = Chase::new(&q, cfg, true);
         let seed = CInstance::new(Arc::clone(&s));
         chase.run_root(&q.formula.clone(), seed, vec![None; q.vars.len()]);
-        chase.accepted.into_iter().map(|(i, _)| i).collect()
+        chase.accepted.into_iter().map(|(i, ..)| i).collect()
     }
 
     fn run(src: &str, limit: usize) -> Vec<CInstance> {
@@ -2142,6 +2608,105 @@ mod tests {
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(format!("{a}"), format!("{b}"), "{src}");
             }
+        }
+    }
+
+    /// The ∀-heavy disjunctive workload of the `chase_subsume` bench: heavy
+    /// superset redundancy in the raw accepted stream.
+    const FORALL_DISJ: &str = "{ (d1) | forall b1 (exists x1, p1 . Serves(x1, b1, p1)) \
+                               and (Likes(d1, 'A') or Likes(d1, 'B')) }";
+
+    fn stats_run(src: &str, cfg: &ChaseConfig) -> (Vec<CInstance>, ChaseStats) {
+        let s = schema();
+        let q = parse_query(&s, src).unwrap();
+        let mut chase = Chase::new(&q, cfg, true);
+        chase.run_root(
+            &q.formula.clone(),
+            CInstance::new(Arc::clone(&s)),
+            vec![None; q.vars.len()],
+        );
+        let stats = chase.stats();
+        (chase.accepted.into_iter().map(|(i, ..)| i).collect(), stats)
+    }
+
+    #[test]
+    fn subsume_prune_drops_only_covered_redundancy() {
+        // The prune contract at the engine level: the raw accepted stream
+        // shrinks, every dropped accept embeds a survivor with the same
+        // leaf coverage — so the set of coverage classes and each class's
+        // minimum size are unchanged.
+        let s = schema();
+        let q = parse_query(&s, FORALL_DISJ).unwrap();
+        let classes = |insts: &[CInstance]| {
+            let mut m: std::collections::HashMap<Vec<u32>, usize> = HashMap::new();
+            for i in insts {
+                let mut cov: Vec<u32> = coverage_of_cinstance_keys(&q, i, false)
+                    .iter()
+                    .map(|l| l.0)
+                    .collect();
+                cov.sort_unstable();
+                let e = m.entry(cov).or_insert(usize::MAX);
+                *e = (*e).min(i.size());
+            }
+            m
+        };
+        let (off, soff) = stats_run(FORALL_DISJ, &ChaseConfig::with_limit(10));
+        let (on, son) = stats_run(FORALL_DISJ, &ChaseConfig::with_limit(10).subsume_prune(true));
+        assert_eq!(soff.subsumed_subtrees, 0);
+        assert!(son.subsumed_subtrees > 0, "the filter must fire");
+        assert!(on.len() < off.len(), "pruning must shrink the raw stream");
+        assert_eq!(classes(&off), classes(&on));
+    }
+
+    #[test]
+    fn subsume_prune_keeps_parallel_stream_byte_identical() {
+        // Determinism under pruning: the filter consults only
+        // boundary-published accepts, so the 4-thread accepted stream (and
+        // the prune count) match the sequential run exactly.
+        let cfg1 = ChaseConfig::with_limit(10).subsume_prune(true);
+        let cfg4 = ChaseConfig::with_limit(10)
+            .subsume_prune(true)
+            .threads(4)
+            .parallel_min_frontier(2);
+        let (seq, s1) = stats_run(FORALL_DISJ, &cfg1);
+        let (par, s4) = stats_run(FORALL_DISJ, &cfg4);
+        assert!(s1.subsumed_subtrees > 0);
+        assert_eq!(s1.subsumed_subtrees, s4.subsumed_subtrees);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(format!("{a}"), format!("{b}"));
+        }
+    }
+
+    #[test]
+    fn digest_cache_knob_never_changes_answers() {
+        // `digest_cache = false` recomputes every digest from scratch; the
+        // values are identical, so the accepted stream must be too.
+        let (cached, _) = stats_run(FORALL_DISJ, &ChaseConfig::with_limit(10));
+        let (fresh, _) = stats_run(FORALL_DISJ, &ChaseConfig::with_limit(10).digest_cache(false));
+        assert_eq!(cached.len(), fresh.len());
+        for (a, b) in cached.iter().zip(&fresh) {
+            assert_eq!(format!("{a}"), format!("{b}"));
+        }
+    }
+
+    #[test]
+    fn wave_batch_counts_problems_and_preserves_stream() {
+        // A wide disjunctive frontier at 4 threads routes surviving
+        // branches through the wave batcher; the verdicts are pure
+        // functions of the canonical problem, so the stream is unchanged.
+        let src = "{ (x1) | exists b1, p1 (Serves(x1, b1, p1) and (p1 > 3.0 or p1 < 1.0)) }";
+        let base = ChaseConfig::with_limit(8).threads(4).parallel_min_frontier(0);
+        let (batched, sb) = stats_run(src, &base.clone().wave_batch(true));
+        let (plain, sp) = stats_run(src, &base.wave_batch(false));
+        assert!(
+            sb.wave_batch_problems > 0,
+            "wide waves must route problems through the batcher"
+        );
+        assert_eq!(sp.wave_batch_problems, 0);
+        assert_eq!(batched.len(), plain.len());
+        for (a, b) in batched.iter().zip(&plain) {
+            assert_eq!(format!("{a}"), format!("{b}"));
         }
     }
 }

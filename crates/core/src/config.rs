@@ -151,6 +151,34 @@ pub struct ChaseConfig {
     /// the instances accepted so far. `None` (the default) costs nothing on
     /// the hot path.
     pub cancel: Option<CancelToken>,
+    /// Homomorphic subsumption pruning: skip a frontier branch's entire
+    /// subtree when a previously **accepted** instance of the same job
+    /// embeds into it (null-renaming homomorphism respecting domains,
+    /// conditions, and the shared seed-null prefix —
+    /// [`cqi_instance::subsumes`]). Chase steps only grow instances, so an
+    /// embedded accept persists down the subtree and the branch can only
+    /// rediscover solutions already covered by the embedded one. Prune
+    /// decisions consult only accepts published at wave boundaries
+    /// (strictly earlier BFS generations), keeping sequential and parallel
+    /// accepted streams byte-identical. Off by default: with
+    /// `max_results`-style early exits the accepted stream itself can
+    /// differ from an unpruned run on adversarial non-monotone formulas,
+    /// so the fuzz oracle cross-checks this flag rather than assuming it.
+    pub subsume_prune: bool,
+    /// Whole-wave solver batching (parallel driver only): before expanding
+    /// a wave, canonicalize every surviving branch's consistency problem,
+    /// dedupe identical canonical problems, solve one representative per
+    /// equivalence class, and prime every worker's memo with the verdicts.
+    /// Purely a wall-clock knob — `Engine::consistent` reaches the same
+    /// canonical problem and therefore the same verdict either way.
+    pub wave_batch: bool,
+    /// Serve `exact_digest`/`signature` from the per-instance memo fed by
+    /// incrementally maintained hash chains (`cqi-instance`). Off, every
+    /// digest probe recomputes from scratch — all cells re-hashed, color
+    /// refinement re-run — reproducing the pre-memo engine for A/B
+    /// benchmarks (`chase_digest_cache` in `bench_chase`). Identical
+    /// digests either way, so answers and accepted streams never change.
+    pub digest_cache: bool,
     /// Capture a span trace of the run (`cqi-obs`): request → root job →
     /// wave → solver-call spans recorded into per-thread ring buffers and
     /// returned as Chrome trace-event JSON on `CSolution::trace`, plus the
@@ -176,6 +204,9 @@ impl ChaseConfig {
             parallel_min_frontier: 4,
             nested_min_wave: 8,
             cancel: None,
+            subsume_prune: false,
+            wave_batch: true,
+            digest_cache: true,
             trace: false,
         }
     }
@@ -232,6 +263,21 @@ impl ChaseConfig {
 
     pub fn cancel(mut self, token: CancelToken) -> ChaseConfig {
         self.cancel = Some(token);
+        self
+    }
+
+    pub fn subsume_prune(mut self, on: bool) -> ChaseConfig {
+        self.subsume_prune = on;
+        self
+    }
+
+    pub fn wave_batch(mut self, on: bool) -> ChaseConfig {
+        self.wave_batch = on;
+        self
+    }
+
+    pub fn digest_cache(mut self, on: bool) -> ChaseConfig {
+        self.digest_cache = on;
         self
     }
 
@@ -308,5 +354,14 @@ mod tests {
         assert_eq!(par.nested_min_wave, 5);
         // 0 = all available parallelism (at least one worker anywhere).
         assert!(ChaseConfig::with_limit(6).threads(0).resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn algorithmic_cut_knobs() {
+        let c = ChaseConfig::with_limit(6);
+        assert!(!c.subsume_prune, "pruning is opt-in");
+        assert!(c.wave_batch, "wave batching defaults on");
+        let tuned = c.subsume_prune(true).wave_batch(false);
+        assert!(tuned.subsume_prune && !tuned.wave_batch);
     }
 }

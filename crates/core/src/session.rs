@@ -103,6 +103,7 @@ pub struct ExplainRequest<'q> {
     threads: Option<usize>,
     cancel: Option<CancelToken>,
     trace: Option<bool>,
+    deepening: Option<(usize, usize)>,
 }
 
 impl<'q> ExplainRequest<'q> {
@@ -116,6 +117,7 @@ impl<'q> ExplainRequest<'q> {
             threads: None,
             cancel: None,
             trace: None,
+            deepening: None,
         }
     }
 
@@ -185,6 +187,17 @@ impl<'q> ExplainRequest<'q> {
     /// off; untraced requests pay one relaxed atomic load per span site.
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = Some(on);
+        self
+    }
+
+    /// Iterative deepening (§4.3's timeout-instead-of-limit mode): the
+    /// drive reruns with the instance-size limit growing from
+    /// `start_limit` by `step` until the request deadline (or the
+    /// session's timeout) is exhausted, keeping the deepest completed
+    /// solution. [`Session::explain_collect`] returns that solution;
+    /// [`Session::explain_deepening`] also reports the limit it reached.
+    pub fn deepening(mut self, start_limit: usize, step: usize) -> Self {
+        self.deepening = Some((start_limit, step.max(1)));
         self
     }
 }
@@ -362,12 +375,37 @@ impl Session {
     /// Skips the per-acceptance streaming machinery entirely (no instance
     /// clones — the original `run_variant` cost profile).
     pub fn explain_collect(&self, req: ExplainRequest<'_>) -> Result<CSolution, QueryError> {
+        if req.deepening.is_some() {
+            return self.explain_deepening(req).map(|(sol, _)| sol);
+        }
         let compiled = self.compile(req.input)?;
         let cfg = self.effective_cfg(&req);
         let mut caches = self.checkout_caches();
         let sol = run_variant_batch(compiled.as_ref(), req.variant, &cfg, &mut caches);
         self.checkin_caches(caches);
         Ok(sol)
+    }
+
+    /// Iterative-deepening explain ([`ExplainRequest::deepening`]): grows
+    /// the instance-size limit until the wall-clock budget (the request
+    /// deadline, or 10 s) runs out and returns the deepest completed
+    /// solution together with the limit it was found at. Without an
+    /// explicit `deepening` option the limit starts at 2 and grows by 2
+    /// per level.
+    pub fn explain_deepening(
+        &self,
+        req: ExplainRequest<'_>,
+    ) -> Result<(CSolution, usize), QueryError> {
+        let (start_limit, step) = req.deepening.unwrap_or((2, 2));
+        let compiled = self.compile(req.input)?;
+        let cfg = self.effective_cfg(&req);
+        Ok(crate::run_variant_deepening(
+            compiled.as_ref(),
+            req.variant,
+            &cfg,
+            start_limit,
+            step,
+        ))
     }
 }
 
@@ -547,6 +585,26 @@ mod tests {
         );
         // A consumer-stopped drive is a truncation, not a completion.
         assert_eq!(partial.interrupted, Some(crate::Interrupted::Cancelled));
+    }
+
+    #[test]
+    fn deepening_reaches_a_completed_level_and_reports_it() {
+        let session = Session::new(schema());
+        let req = ExplainRequest::drc(JOIN_QUERY)
+            .deadline(Duration::from_millis(300))
+            .deepening(3, 1);
+        let (sol, depth) = session.explain_deepening(req).unwrap();
+        assert!(!sol.instances.is_empty());
+        assert!(depth >= 3, "at least the starting level must complete");
+        // The request-option route returns the same deepest solution.
+        let via_collect = session
+            .explain_collect(
+                ExplainRequest::drc(JOIN_QUERY)
+                    .deadline(Duration::from_millis(300))
+                    .deepening(3, 1),
+            )
+            .unwrap();
+        assert_eq!(via_collect.num_coverages(), sol.num_coverages());
     }
 
     #[test]

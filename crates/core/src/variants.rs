@@ -63,18 +63,25 @@ pub(crate) fn run_variant_batch(
 /// re-check, for soundness) and coverage of one accepted instance. `None`
 /// means the instance does not satisfy the original tree. An empty
 /// coverage is legitimate for vacuously satisfied queries (e.g. a Boolean
-/// ∀-only query on the empty instance).
+/// ∀-only query on the empty instance). When the chase's subsumption
+/// filter already computed the coverage (`cached`), only the satisfaction
+/// re-check runs — the coverage enumeration, the expensive side, is
+/// reused.
 fn validated_coverage(
     q: &cqi_drc::Query,
     inst: &CInstance,
     enforce_keys: bool,
+    cached: Option<&Coverage>,
 ) -> Option<Coverage> {
     let ctx = SatCtx::new(q, inst, enforce_keys);
     if !ctx.tree_sat(&q.formula, &vec![None; q.vars.len()]) {
         return None;
     }
     drop(ctx);
-    Some(coverage_of_cinstance_keys(q, inst, enforce_keys))
+    Some(match cached {
+        Some(c) => c.clone(),
+        None => coverage_of_cinstance_keys(q, inst, enforce_keys),
+    })
 }
 
 fn run_variant_inner(
@@ -109,8 +116,8 @@ fn run_variant_inner(
             // the batch result) is unchanged.
             let enforce_keys = cfg.enforce_keys;
             let mut entries: Vec<(CInstance, Coverage, Duration)> = Vec::new();
-            let mut validate = |inst: &CInstance, t: Duration| -> bool {
-                let Some(coverage) = validated_coverage(q, inst, enforce_keys) else {
+            let mut validate = |inst: &CInstance, t: Duration, cov: Option<&Coverage>| -> bool {
+                let Some(coverage) = validated_coverage(q, inst, enforce_keys, cov) else {
                     return true;
                 };
                 let acc = AcceptedInstance {
@@ -129,12 +136,13 @@ fn run_variant_inner(
         None => {
             // Batch: drive with a no-op observer, then validate by moving
             // the accepted log (zero clones on the hot benchmark path).
-            drive_phases(&mut chase, tree, variant, &mut |_, _| true);
+            drive_phases(&mut chase, tree, variant, &mut |_, _, _| true);
             let accepted = std::mem::take(&mut chase.accepted);
             let raw = accepted.len();
             let mut entries = Vec::with_capacity(raw);
-            for (inst, t) in accepted {
-                if let Some(coverage) = validated_coverage(q, &inst, cfg.enforce_keys) {
+            for (inst, t, cov) in accepted {
+                if let Some(coverage) = validated_coverage(q, &inst, cfg.enforce_keys, cov.as_ref())
+                {
                     entries.push((inst, coverage, t));
                 }
             }
@@ -178,7 +186,7 @@ fn drive_phases(
     chase: &mut Chase<'_>,
     tree: &SyntaxTree,
     variant: Variant,
-    observer: &mut dyn FnMut(&CInstance, std::time::Duration) -> bool,
+    observer: &mut dyn FnMut(&CInstance, std::time::Duration, Option<&Coverage>) -> bool,
 ) {
     let q = tree.query();
     let cfg = chase.cfg;
@@ -206,10 +214,11 @@ fn drive_phases(
         // against this one coverage set, which is what makes the jobs
         // independent and the batch parallelizable.)
         let mut covered = Coverage::new();
-        let snapshot: Vec<CInstance> =
-            chase.accepted.iter().map(|(i, _)| i.clone()).collect();
-        for inst in &snapshot {
-            covered.extend(coverage_of_cinstance_keys(q, inst, cfg.enforce_keys));
+        for (inst, _, cov) in &chase.accepted {
+            match cov {
+                Some(c) => covered.extend(c.iter().copied()),
+                None => covered.extend(coverage_of_cinstance_keys(q, inst, cfg.enforce_keys)),
+            }
         }
         let mut jobs: Vec<RootJob<'_>> = Vec::new();
         for (leaf_id, atom) in tree.leaves() {

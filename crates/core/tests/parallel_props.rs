@@ -82,6 +82,7 @@ proptest! {
         ti in any::<u64>(),
         mi in any::<u64>(),
         ni in any::<u64>(),
+        prune in any::<bool>(),
     ) {
         let s = schema();
         let src = QUERIES[(qi as usize) % QUERIES.len()];
@@ -91,9 +92,12 @@ proptest! {
         let min_frontier = pick(&[0usize, 1, 2, 4, 64], mi);
         let nested = pick(&[0usize, 2, 4, 64], ni);
         let tree = SyntaxTree::new(parse_query(&s, src).unwrap());
-        let seq_cfg = ChaseConfig::with_limit(limit).enforce_keys(keys);
+        let seq_cfg = ChaseConfig::with_limit(limit)
+            .enforce_keys(keys)
+            .subsume_prune(prune);
         let par_cfg = ChaseConfig::with_limit(limit)
             .enforce_keys(keys)
+            .subsume_prune(prune)
             .threads(threads)
             .parallel_min_frontier(min_frontier)
             .nested_min_wave(nested);
@@ -102,8 +106,45 @@ proptest! {
         prop_assert_eq!(
             render(&seq),
             render(&par),
-            "{} {} limit={} keys={} threads={} min_frontier={} nested={}",
-            src, variant, limit, keys, threads, min_frontier, nested
+            "{} {} limit={} keys={} threads={} min_frontier={} nested={} prune={}",
+            src, variant, limit, keys, threads, min_frontier, nested, prune
+        );
+    }
+
+    /// The subsumption-prune contract: with `subsume_prune` on, the raw
+    /// accepted stream may shrink but the explanation content is
+    /// preserved — same coverage classes with the same per-class minimal
+    /// size — at 1 and 4 threads alike, across variants, limits, and key
+    /// enforcement.
+    #[test]
+    fn subsume_prune_preserves_minimized_solutions(
+        qi in any::<u64>(),
+        vi in any::<u64>(),
+        li in any::<u64>(),
+        keys in any::<bool>(),
+        ti in any::<u64>(),
+    ) {
+        let s = schema();
+        let src = QUERIES[(qi as usize) % QUERIES.len()];
+        let variant = pick(&Variant::ALL, vi);
+        let limit = 4 + (li as usize) % 4; // 4..=7
+        let threads = pick(&[1usize, 4], ti);
+        let tree = SyntaxTree::new(parse_query(&s, src).unwrap());
+        let classes = |sol: &cqi_core::CSolution| -> BTreeMap<Vec<u32>, usize> {
+            sol.instances
+                .iter()
+                .map(|si| (si.coverage.iter().map(|l| l.0).collect(), si.size()))
+                .collect()
+        };
+        let base_cfg = ChaseConfig::with_limit(limit).enforce_keys(keys).threads(threads);
+        let base = run_variant(&tree, variant, &base_cfg);
+        let pruned = run_variant(&tree, variant, &base_cfg.subsume_prune(true));
+        prop_assert!(pruned.raw_accepted <= base.raw_accepted);
+        prop_assert_eq!(
+            classes(&base),
+            classes(&pruned),
+            "{} {} limit={} keys={} threads={}",
+            src, variant, limit, keys, threads
         );
     }
 
@@ -121,6 +162,7 @@ proptest! {
         mi in any::<u64>(),
         ni in any::<u64>(),
         cap in any::<u64>(),
+        prune in any::<bool>(),
     ) {
         let s = schema();
         let src = QUERIES[(qi as usize) % QUERIES.len()];
@@ -143,11 +185,12 @@ proptest! {
                 CInstance::new(Arc::clone(&s)),
                 vec![None; q.vars.len()],
             );
-            chase.accepted.iter().map(|(i, _)| format!("{i}")).collect()
+            chase.accepted.iter().map(|(i, ..)| format!("{i}")).collect()
         };
-        let mut seq_cfg = ChaseConfig::with_limit(limit);
+        let mut seq_cfg = ChaseConfig::with_limit(limit).subsume_prune(prune);
         seq_cfg.max_results = max_results;
         let mut par_cfg = ChaseConfig::with_limit(limit)
+            .subsume_prune(prune)
             .threads(threads)
             .parallel_min_frontier(min_frontier)
             .nested_min_wave(nested);
@@ -156,8 +199,8 @@ proptest! {
         let par = run(&par_cfg);
         prop_assert_eq!(
             seq, par,
-            "{} limit={} threads={} min_frontier={} nested={} cap={:?}",
-            src, limit, threads, min_frontier, nested, max_results
+            "{} limit={} threads={} min_frontier={} nested={} cap={:?} prune={}",
+            src, limit, threads, min_frontier, nested, max_results, prune
         );
     }
 }

@@ -1,6 +1,8 @@
 //! Conditional instances (c-instances), Definition 3.
 
-use std::sync::Arc;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use cqi_schema::{DomainId, DomainType, RelId, Schema, Value};
 use cqi_solver::{Ent, Lit, NullId};
@@ -28,6 +30,50 @@ pub enum Cond {
     NotIn { rel: RelId, tuple: Vec<Ent> },
 }
 
+/// Incrementally maintained hash chains over the mutable parts of a
+/// c-instance: one order-sensitive chain per relation (folded over rows in
+/// insertion order) plus one chain over the global condition. Combining the
+/// chains with the null count yields the instance's exact digest in
+/// `O(#relations)` instead of re-hashing every cell — the mutators
+/// ([`CInstance::add_tuple`], [`CInstance::add_cond`]) extend the chains as
+/// they extend the instance.
+#[derive(Clone, Debug)]
+pub(crate) struct DigestChains {
+    pub(crate) rels: Vec<u64>,
+    pub(crate) conds: u64,
+}
+
+pub(crate) fn chain_hash<T: Hash>(chain: u64, t: &T) -> u64 {
+    let mut s = DefaultHasher::new();
+    chain.hash(&mut s);
+    t.hash(&mut s);
+    s.finish()
+}
+
+impl DigestChains {
+    fn new(nrel: usize) -> DigestChains {
+        DigestChains {
+            rels: vec![0; nrel],
+            conds: 0,
+        }
+    }
+
+    /// The from-scratch chain computation the incremental updates must
+    /// agree with (the debug cross-check in [`crate::iso::exact_digest`]).
+    pub(crate) fn recompute(tables: &[Vec<Vec<Ent>>], global: &[Cond]) -> DigestChains {
+        let mut chains = DigestChains::new(tables.len());
+        for (ri, rows) in tables.iter().enumerate() {
+            for row in rows {
+                chains.rels[ri] = chain_hash(chains.rels[ri], row);
+            }
+        }
+        for cond in global {
+            chains.conds = chain_hash(chains.conds, cond);
+        }
+        chains
+    }
+}
+
 /// A conditional instance: one v-table per relation plus the global
 /// condition, plus bookkeeping the chase needs (null registry and per-domain
 /// entity pools).
@@ -43,6 +89,17 @@ pub struct CInstance {
     /// quantified variable of that domain may be mapped to (Algorithm 5/6).
     /// Don't-care nulls are excluded.
     domains: Vec<Vec<Ent>>,
+    /// Incremental digest state; see [`DigestChains`]. The chains only see
+    /// mutations made through the methods of this type — the pub fields are
+    /// read openly across the workspace but written nowhere else, and the
+    /// debug cross-check in `iso::exact_digest` enforces that discipline.
+    chains: DigestChains,
+    /// Combined exact digest, filled lazily by `iso::exact_digest` and
+    /// cleared by every digest-affecting mutation. Cloning an instance
+    /// carries the cached value along (it stays valid for the copy).
+    pub(crate) digest_memo: OnceLock<u64>,
+    /// Renaming-invariant signature, same lifecycle as `digest_memo`.
+    pub(crate) sig_memo: OnceLock<u64>,
 }
 
 impl CInstance {
@@ -55,7 +112,20 @@ impl CInstance {
             global: Vec::new(),
             nulls: Vec::new(),
             domains: vec![Vec::new(); ndom],
+            chains: DigestChains::new(nrel),
+            digest_memo: OnceLock::new(),
+            sig_memo: OnceLock::new(),
         }
+    }
+
+    pub(crate) fn chains(&self) -> &DigestChains {
+        &self.chains
+    }
+
+    /// Clears the cached digest/signature after a digest-affecting mutation.
+    fn invalidate_caches(&mut self) {
+        self.digest_memo = OnceLock::new();
+        self.sig_memo = OnceLock::new();
     }
 
     /// Total number of tuples plus atomic conditions — the paper's `|I|`
@@ -95,6 +165,7 @@ impl CInstance {
             dont_care: false,
         });
         self.domains[d.index()].push(Ent::Null(id));
+        self.invalidate_caches();
         id
     }
 
@@ -107,6 +178,7 @@ impl CInstance {
             ty: self.schema.domain_type(d),
             dont_care: true,
         });
+        self.invalidate_caches();
         id
     }
 
@@ -150,7 +222,9 @@ impl CInstance {
                 pool.push(cell.clone());
             }
         }
+        self.chains.rels[rel.index()] = chain_hash(self.chains.rels[rel.index()], &tuple);
         self.tables[rel.index()].push(tuple.clone());
+        self.invalidate_caches();
         self.repair_foreign_keys(rel, &tuple);
         true
     }
@@ -213,7 +287,9 @@ impl CInstance {
         if duplicate {
             return false;
         }
+        self.chains.conds = chain_hash(self.chains.conds, &cond);
         self.global.push(cond);
+        self.invalidate_caches();
         true
     }
 

@@ -61,6 +61,9 @@ pub struct DedupeStats {
     /// Signature-bucket collisions that required a full isomorphism check
     /// (same signature, different digest).
     pub iso_checks: u64,
+    /// Duplicate verdicts settled by the exact-digest fast map, without a
+    /// bucket walk or candidate clone.
+    pub digest_fast_hits: u64,
 }
 
 struct Entry<T> {
@@ -69,9 +72,20 @@ struct Entry<T> {
     item: T,
 }
 
-/// One signature bucket: the representatives of every isomorphism class
-/// sharing that signature.
-type Shard<T> = Mutex<HashMap<u64, Vec<Entry<T>>>>;
+/// One lock stripe: signature buckets of class representatives, plus a
+/// digest fast map.
+struct ShardState<T> {
+    /// `signature → representatives of every isomorphism class sharing it`.
+    buckets: HashMap<u64, Vec<Entry<T>>>,
+    /// `exact digest → minimum sequence ever offered with that digest`.
+    /// Identical digests are identical instances (the chase-wide 64-bit
+    /// assumption), hence members of one class — so an offer whose digest
+    /// was already seen at an earlier-or-equal sequence is a final
+    /// `Duplicate` without walking the bucket or cloning the candidate.
+    digest_seqs: HashMap<u64, u64>,
+}
+
+type Shard<T> = Mutex<ShardState<T>>;
 
 /// Lock-striped concurrent set of isomorphism-class representatives.
 pub struct ShardedDedupe<T> {
@@ -80,6 +94,7 @@ pub struct ShardedDedupe<T> {
     offers: Counter,
     duplicates: Counter,
     iso_checks: Counter,
+    digest_fast_hits: Counter,
 }
 
 impl<T: Clone> ShardedDedupe<T> {
@@ -88,11 +103,19 @@ impl<T: Clone> ShardedDedupe<T> {
     pub fn new(shards: usize) -> ShardedDedupe<T> {
         let n = shards.max(1).next_power_of_two();
         ShardedDedupe {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(ShardState {
+                        buckets: HashMap::new(),
+                        digest_seqs: HashMap::new(),
+                    })
+                })
+                .collect(),
             mask: n - 1,
             offers: Counter::new(),
             duplicates: Counter::new(),
             iso_checks: Counter::new(),
+            digest_fast_hits: Counter::new(),
         }
     }
 
@@ -126,8 +149,19 @@ impl<T: Clone> ShardedDedupe<T> {
     ) -> Offer {
         let _s = trace::span_phase("dedupe_offer", "dedupe", Phase::Dedupe);
         self.offers.inc();
-        let mut map = self.shard(key.signature).lock().unwrap();
-        let bucket = map.entry(key.signature).or_default();
+        let mut state = self.shard(key.signature).lock().unwrap();
+        if let Some(&s0) = state.digest_seqs.get(&key.digest) {
+            if s0 <= seq {
+                self.digest_fast_hits.inc();
+                self.duplicates.inc();
+                return Offer::Duplicate;
+            }
+        }
+        let min = state.digest_seqs.entry(key.digest).or_insert(seq);
+        if seq < *min {
+            *min = seq;
+        }
+        let bucket = state.buckets.entry(key.signature).or_default();
         for e in bucket.iter_mut() {
             if self.matches(e, key.digest, item, iso) {
                 if e.seq <= seq {
@@ -160,8 +194,8 @@ impl<T: Clone> ShardedDedupe<T> {
         iso: &F,
     ) -> bool {
         let _s = trace::span_phase("dedupe_confirm", "dedupe", Phase::Dedupe);
-        let map = self.shard(key.signature).lock().unwrap();
-        let Some(bucket) = map.get(&key.signature) else {
+        let state = self.shard(key.signature).lock().unwrap();
+        let Some(bucket) = state.buckets.get(&key.signature) else {
             return false;
         };
         bucket
@@ -173,7 +207,7 @@ impl<T: Clone> ShardedDedupe<T> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().values().map(Vec::len).sum::<usize>())
+            .map(|s| s.lock().unwrap().buckets.values().map(Vec::len).sum::<usize>())
             .sum()
     }
 
@@ -191,6 +225,7 @@ impl<T: Clone> ShardedDedupe<T> {
             offers: self.offers.get(),
             duplicates: self.duplicates.get(),
             iso_checks: self.iso_checks.get(),
+            digest_fast_hits: self.digest_fast_hits.get(),
         }
     }
 }
@@ -236,6 +271,27 @@ mod tests {
         set.offer(k, 0, &it, &iso);
         assert_eq!(set.offer(k, 1, &it, &iso), Offer::Duplicate);
         assert_eq!(set.stats().iso_checks, 0, "digest fast path skips iso");
+        assert_eq!(set.stats().digest_fast_hits, 1, "settled by the fast map");
+    }
+
+    #[test]
+    fn digest_fast_map_respects_sequence_priority() {
+        // A later-seq repeat of an exact digest is a fast Duplicate, but an
+        // *earlier*-seq repeat must still displace the representative.
+        let set: ShardedDedupe<Item> = ShardedDedupe::new(2);
+        let it = Item { class: 4, tag: 0 };
+        let k = key(11, 400);
+        assert_eq!(set.offer(k, 5, &it, &iso), Offer::Tentative);
+        assert_eq!(set.offer(k, 7, &it, &iso), Offer::Duplicate);
+        assert_eq!(set.offer(k, 2, &it, &iso), Offer::Tentative);
+        assert!(set.confirm(k, 2, &it, &iso));
+        assert!(!set.confirm(k, 5, &it, &iso));
+        let stats = set.stats();
+        assert_eq!(stats.digest_fast_hits, 1);
+        assert_eq!(stats.duplicates, 1);
+        // The map now remembers seq 2: a seq-3 offer is a fast Duplicate.
+        assert_eq!(set.offer(k, 3, &it, &iso), Offer::Duplicate);
+        assert_eq!(set.stats().digest_fast_hits, 2);
     }
 
     #[test]

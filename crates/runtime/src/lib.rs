@@ -45,6 +45,7 @@ pub use memo::{MemoCounts, MemoStats, StripedMemo};
 pub use pool::{parallel_for, Exec, ResidentPool, RunCounters, RunCounts};
 pub use scheduler::{
     DriveStats, Expansion, FrontierScheduler, FrontierTask, ParallelScheduler, SequentialScheduler,
+    WaveVisible,
 };
 
 /// Resolves a user-facing thread budget: `0` means "all available

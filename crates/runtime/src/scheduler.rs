@@ -13,11 +13,95 @@
 //! evidence).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use cqi_obs::trace::{self, Phase};
 
 use crate::dedupe::{DedupeStats, Offer, SetKey, ShardedDedupe};
 use crate::pool::Exec;
+use crate::sync::Mutex;
+
+/// Wave-boundary publication of accepted results: the state behind
+/// acceptance-order-safe subsumption pruning.
+///
+/// The driving thread stages results with [`note`](WaveVisible::note) (in
+/// sink order) and makes the accumulated set visible with
+/// [`publish`](WaveVisible::publish) — which both schedulers call only at
+/// generation boundaries ([`FrontierTask::wave_boundary`]). Concurrent
+/// expansions read an immutable [`snapshot`](WaveVisible::snapshot), so
+/// every expansion of a wave observes the identical set regardless of
+/// worker interleaving: publication is pinned to the barrier, never
+/// mid-wave. `cqi-analysis` model-checks exactly this property (and its
+/// seeded-fault twin publishes mid-wave to prove the checker would catch a
+/// violation).
+///
+/// Synchronization goes through [`crate::sync`], so under
+/// `--features model-check` the protocol runs on the instrumented
+/// primitives.
+pub struct WaveVisible<T> {
+    pending: Mutex<Vec<T>>,
+    published: Mutex<Arc<Vec<T>>>,
+}
+
+impl<T: Clone> WaveVisible<T> {
+    pub fn new() -> WaveVisible<T> {
+        WaveVisible {
+            pending: Mutex::new(Vec::new()),
+            published: Mutex::new(Arc::new(Vec::new())),
+        }
+    }
+
+    /// Stages a result (driving thread, sink order). Not visible to
+    /// [`snapshot`](Self::snapshot) until the next publish.
+    pub fn note(&self, value: T) {
+        self.pending.lock().unwrap().push(value);
+    }
+
+    /// Publishes everything staged so far, capping the visible set at
+    /// `cap` entries (earliest-noted survive — a deterministic prefix of
+    /// the sink order). Call only at a wave boundary.
+    pub fn publish(&self, cap: usize) {
+        let mut pending = self.pending.lock().unwrap();
+        if pending.is_empty() {
+            return;
+        }
+        let mut published = self.published.lock().unwrap();
+        let mut next: Vec<T> = published.as_ref().clone();
+        for v in pending.drain(..) {
+            if next.len() >= cap {
+                break;
+            }
+            next.push(v);
+        }
+        *published = Arc::new(next);
+    }
+
+    /// The currently published set (any thread; cheap Arc clone).
+    pub fn snapshot(&self) -> Arc<Vec<T>> {
+        Arc::clone(&self.published.lock().unwrap())
+    }
+
+    /// Scans published entries, then pending ones, in note order, until `f`
+    /// returns `true`. Driving-thread only (it sees staged results that
+    /// [`snapshot`](Self::snapshot) deliberately hides), for filters that
+    /// must compare a candidate against *every* earlier-kept result — e.g.
+    /// the chase's [`FrontierTask::note_accept`] subsumption filter, which
+    /// runs at the sink where same-wave siblings are still unpublished. The
+    /// two locks are taken one at a time, never nested.
+    pub fn any_all(&self, mut f: impl FnMut(&T) -> bool) -> bool {
+        let published = self.snapshot();
+        if published.iter().any(&mut f) {
+            return true;
+        }
+        self.pending.lock().unwrap().iter().any(&mut f)
+    }
+}
+
+impl<T: Clone> Default for WaveVisible<T> {
+    fn default() -> Self {
+        WaveVisible::new()
+    }
+}
 
 /// What expanding one frontier item produced: either an accepted result
 /// (satisfying, consistent — not expanded further) or children to enqueue.
@@ -47,12 +131,49 @@ pub trait FrontierTask: Sync {
     fn is_duplicate(&self, a: &Self::Item, b: &Self::Item) -> bool;
 
     /// Expands one admitted, deduplicated item. Must be deterministic in
-    /// `item`; `ctx` is memo state only.
+    /// `item` *and the wave-boundary state published through
+    /// [`wave_boundary`](Self::wave_boundary)* — both schedulers present
+    /// the identical boundary-published state to every expansion of a
+    /// wave; `ctx` is memo state only.
     fn expand(&self, ctx: &mut Self::Ctx, item: &Self::Item) -> Expansion<Self::Item, Self::Accept>;
 
     /// Polled between items/waves; return `true` to abort the drive (the
     /// chase's wall-clock deadline). May record the abort in `ctx`.
     fn stopped(&self, ctx: &mut Self::Ctx) -> bool;
+
+    /// Filters every accepted result in sink order, on the driving thread,
+    /// just before it is flushed to the sink: returning `false` drops the
+    /// accept (it never reaches the sink). Because both drivers call this
+    /// at their single FIFO merge point, the kept/dropped decision sees the
+    /// identical prefix of earlier accepts regardless of worker
+    /// interleaving — which is what makes the chase's subsumption pruning
+    /// acceptance-order-safe. The accept is mutable so the filter can
+    /// annotate it with derived data (the chase attaches the coverage it
+    /// had to compute anyway, sparing the sink a recompute). Tasks that let
+    /// accepted results influence later *expansions* stage them here and
+    /// publish only at the next [`wave_boundary`](Self::wave_boundary) —
+    /// accepts of wave `k` may interleave with wave `k`'s remaining inline
+    /// expansions, so acting on them in `expand` immediately would diverge
+    /// from the parallel driver.
+    fn note_accept(&self, _accepted: &mut Self::Accept) -> bool {
+        true
+    }
+
+    /// Called on the driving thread at every BFS generation boundary —
+    /// after all of generation `k`'s accepts were
+    /// [`note_accept`](Self::note_accept)ed and before any generation-`k+1`
+    /// item expands. Both schedulers produce the identical generation
+    /// structure (seeds are generation 0; children of generation `k` form
+    /// generation `k+1`), so state published here is identical across
+    /// sequential and parallel drives.
+    fn wave_boundary(&self) {}
+
+    /// Called by the wave-parallel driver only, on the driving thread,
+    /// after a wave's surviving items are known and before their expansion
+    /// fans out. `ctxs` are all worker contexts — the hook may pre-solve
+    /// shared work once and prime every context's memo state (speed only,
+    /// never answers; the sequential driver never calls this).
+    fn prepare_wave(&self, _ctxs: &mut [Self::Ctx], _survivors: &[&Self::Item]) {}
 }
 
 /// Drives a [`FrontierTask`] to exhaustion. `sink` receives accepted
@@ -125,8 +246,8 @@ fn step_inline<T: FrontierTask>(
         return InlineStep::Skip;
     }
     let exp = task.expand(ctx, item);
-    if let Some(a) = exp.accepted {
-        if !sink(a) {
+    if let Some(mut a) = exp.accepted {
+        if task.note_accept(&mut a) && !sink(a) {
             return InlineStep::Halt;
         }
         return InlineStep::Skip;
@@ -134,7 +255,12 @@ fn step_inline<T: FrontierTask>(
     InlineStep::Children(exp.children)
 }
 
-/// The reference implementation: plain FIFO, one context, no threads.
+/// The reference implementation: FIFO on one context, no threads. The
+/// frontier is walked generation by generation — identical order to a
+/// plain FIFO queue (children enqueue behind the current generation's
+/// remaining items either way), but with [`FrontierTask::wave_boundary`]
+/// called between generations so boundary-published state matches the
+/// parallel driver's exactly.
 pub struct SequentialScheduler;
 
 impl<T: FrontierTask> FrontierScheduler<T> for SequentialScheduler {
@@ -148,16 +274,21 @@ impl<T: FrontierTask> FrontierScheduler<T> for SequentialScheduler {
     ) -> DriveStats {
         let ctx = &mut ctxs[0];
         let dedupe: ShardedDedupe<T::Item> = ShardedDedupe::new(1);
-        let mut queue: VecDeque<T::Item> = seeds.into();
+        let mut wave: VecDeque<T::Item> = seeds.into();
         let mut seq: u64 = 0;
-        while let Some(item) = queue.pop_front() {
-            let s = seq;
-            seq += 1;
-            match step_inline(task, ctx, &dedupe, s, &item, sink) {
-                InlineStep::Halt => break,
-                InlineStep::Skip => {}
-                InlineStep::Children(children) => queue.extend(children),
+        'drive: while !wave.is_empty() {
+            task.wave_boundary();
+            let mut next: VecDeque<T::Item> = VecDeque::new();
+            while let Some(item) = wave.pop_front() {
+                let s = seq;
+                seq += 1;
+                match step_inline(task, ctx, &dedupe, s, &item, sink) {
+                    InlineStep::Halt => break 'drive,
+                    InlineStep::Skip => {}
+                    InlineStep::Children(children) => next.extend(children),
+                }
             }
+            wave = next;
         }
         DriveStats {
             dedupe: dedupe.stats(),
@@ -221,6 +352,7 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
             if task.stopped(&mut ctxs[0]) {
                 break;
             }
+            task.wave_boundary();
             let _wave_span = trace::span("wave", "sched");
             let wave: Vec<(u64, T::Item)> = {
                 let _s = trace::span_phase("wave_assemble", "sched", Phase::Sched);
@@ -293,6 +425,15 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
                     .collect()
             };
 
+            // Phase 2.5: whole-wave preparation (e.g. batched canonical
+            // solving) on the driver thread, with all contexts available.
+            {
+                let _s = trace::span_phase("wave_prepare", "sched", Phase::Sched);
+                let survivor_items: Vec<&T::Item> =
+                    survivors.iter().map(|&i| &wave[i].1).collect();
+                task.prepare_wave(ctxs, &survivor_items);
+            }
+
             // Phase 3 (parallel): expand survivors on worker-local contexts.
             let expansions: Vec<Expansion<T::Item, T::Accept>> = {
                 let _s = trace::span("wave_expand", "sched");
@@ -302,8 +443,8 @@ impl<T: FrontierTask> FrontierScheduler<T> for ParallelScheduler {
             // Phase 4: merge accepted results and children in FIFO order.
             let _merge_span = trace::span("wave_merge", "sched");
             for exp in expansions {
-                if let Some(a) = exp.accepted {
-                    if !sink(a) {
+                if let Some(mut a) = exp.accepted {
+                    if task.note_accept(&mut a) && !sink(a) {
                         break 'drive;
                     }
                     continue;
